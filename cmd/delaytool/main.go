@@ -1,0 +1,159 @@
+// Command delaytool explores the local delay matrices of Section 4: given a
+// local protocol (the (l_j, r_j) block sequences seen at one vertex), it
+// prints Mx(λ), the reduced matrices Nx(λ) and Ox(λ) of Fig. 3, the
+// semi-eigenvector of Lemma 4.2, and checks the Lemma 4.3 norm bound.
+//
+// Usage:
+//
+//	delaytool -l 2,1 -r 1,2 -lambda 0.618 -h 4
+//	delaytool -fullduplex -s 4 -t 8 -lambda 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/delay"
+	"repro/internal/gossip"
+	"repro/internal/matrix"
+)
+
+func main() {
+	lStr := flag.String("l", "2,1", "left activation block lengths l_0,…,l_{k-1}")
+	rStr := flag.String("r", "1,2", "right activation block lengths r_0,…,r_{k-1}")
+	lambda := flag.Float64("lambda", 0.618, "λ in (0,1)")
+	h := flag.Int("h", 4, "number of activation blocks to materialize (h ≥ k)")
+	full := flag.Bool("fullduplex", false, "build the full-duplex banded matrix of Fig. 7 instead")
+	s := flag.Int("s", 4, "systolic period (full-duplex mode)")
+	t := flag.Int("t", 8, "rounds (full-duplex mode)")
+	extract := flag.String("extract", "", "extract local protocols from a schedule file (see gossipsim -save) and report the worst vertex")
+	n := flag.Int("n", 0, "number of network vertices for -extract (0 = infer from arcs)")
+	flag.Parse()
+
+	if *extract != "" {
+		if err := runExtract(*extract, *n, *lambda); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	if *full {
+		m := delay.FullDuplexMx(*s, *t, *lambda)
+		fmt.Printf("Full-duplex local matrix Mx(λ=%.4f), s=%d, t=%d (Fig. 7):\n%s", *lambda, *s, *t, m)
+		norm, bound := delay.Lemma61Check(*s, *t, *lambda)
+		fmt.Printf("‖Mx‖ = %.6f ≤ λ+…+λ^(s−1) = %.6f (Lemma 6.1)\n", norm, bound)
+		return
+	}
+
+	L, err := parseInts(*lStr)
+	if err != nil {
+		fatalf("bad -l: %v", err)
+	}
+	R, err := parseInts(*rStr)
+	if err != nil {
+		fatalf("bad -r: %v", err)
+	}
+	lp, err := delay.NewLocalProtocol(L, R)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("Local protocol: L=%v R=%v (k=%d, s=%d)\n\n", lp.L, lp.R, lp.K(), lp.S())
+
+	mx := lp.Mx(*lambda, *h)
+	fmt.Printf("Mx(λ=%.4f), h=%d (Fig. 1 layout):\n%s\n", *lambda, *h, mx)
+	fmt.Printf("Nx(λ) (Fig. 3):\n%s\n", lp.Nx(*lambda, *h))
+	fmt.Printf("Ox(λ) (Fig. 3):\n%s\n", lp.Ox(*lambda, *h))
+
+	e := lp.SemiEigenvector(*lambda, *h)
+	fmt.Printf("Semi-eigenvector e (Lemma 4.2): %v\n", rounded(e))
+	if err := lp.Lemma42Check(*lambda, *h, 1e-9); err != nil {
+		fmt.Printf("Lemma 4.2 check: FAILED: %v\n", err)
+	} else {
+		fmt.Println("Lemma 4.2 check: OK")
+	}
+
+	norm := matrix.Norm2(mx)
+	bound := lp.NormBound(*lambda)
+	fmt.Printf("‖Mx(λ)‖ = %.6f ≤ λ·√p⌈s/2⌉·√p⌊s/2⌋ = %.6f (Lemma 4.3)\n", norm, bound)
+	rho := matrix.SpectralRadius(lp.Ox(*lambda, *h).Mul(lp.Nx(*lambda, *h)))
+	fmt.Printf("√ρ(Ox·Nx) = %.6f (must equal ‖Mx‖, Lemma 2.2)\n", math.Sqrt(rho))
+}
+
+// runExtract loads a systolic schedule, extracts the local protocol at every
+// vertex (Section 4's per-vertex view), and reports each vertex's local norm
+// against its Lemma 4.3 cap, flagging the extremal vertex.
+func runExtract(path string, n int, lambda float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	p, err := gossip.Decode(f)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		for _, round := range p.Rounds {
+			for _, a := range round {
+				if a.From >= n {
+					n = a.From + 1
+				}
+				if a.To >= n {
+					n = a.To + 1
+				}
+			}
+		}
+	}
+	fmt.Printf("Schedule %s: %v, period %d, %d vertices\n\n", path, p.Mode, p.Period, n)
+	worst, worstV := 0.0, -1
+	for v := 0; v < n; v++ {
+		lp, err := delay.ExtractLocal(p, v)
+		if err != nil {
+			fmt.Printf("  vertex %3d: %v\n", v, err)
+			continue
+		}
+		norm := matrix.Norm2(lp.Mx(lambda, lp.K()+4))
+		fmt.Printf("  vertex %3d: L=%v R=%v  ‖Mx(λ)‖=%.4f ≤ cap %.4f\n",
+			v, lp.L, lp.R, norm, lp.NormBound(lambda))
+		if norm > worst {
+			worst, worstV = norm, v
+		}
+	}
+	if worstV >= 0 {
+		fmt.Printf("\nextremal vertex: %d with ‖Mx(λ=%.4f)‖ = %.4f\n", worstV, lambda, worst)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func rounded(v matrix.Vector) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*1e4+0.5)) / 1e4
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "delaytool: "+format+"\n", args...)
+	os.Exit(1)
+}

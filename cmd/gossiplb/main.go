@@ -1,0 +1,92 @@
+// Command gossiplb regenerates the lower-bound tables of the paper
+// (Figs. 4, 5, 6 and 8) from the solvers in internal/bounds.
+//
+// Usage:
+//
+//	gossiplb -figure 4
+//	gossiplb -figure 5 -degrees 2,3,4 -periods 3,4,5,6,7,8
+//	gossiplb -figure 6
+//	gossiplb -figure 8 -periods 3,4,8,0     (0 = s→∞)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bounds"
+)
+
+func main() {
+	figure := flag.Int("figure", 4, "paper figure to regenerate: 4, 5, 6 or 8")
+	degrees := flag.String("degrees", "2,3", "comma-separated degree parameters d")
+	periods := flag.String("periods", "3,4,5,6,7,8,0", "comma-separated systolic periods (0 = non-systolic)")
+	flag.Parse()
+
+	ds, err := parseInts(*degrees)
+	if err != nil {
+		fatalf("bad -degrees: %v", err)
+	}
+	ps, err := parseInts(*periods)
+	if err != nil {
+		fatalf("bad -periods: %v", err)
+	}
+
+	switch *figure {
+	case 4:
+		fmt.Println("Fig. 4 — general lower bound, directed & half-duplex: t ≥ e(s)·log2(n) − O(log log n)")
+		fmt.Print(bounds.FormatFig4(bounds.Fig4(ps)))
+	case 5:
+		sys := withoutInfinity(ps)
+		fmt.Println("Fig. 5 — systolic lower bounds for specific networks, half-duplex: t ≥ e(s)·log2(n)·(1−o(1))")
+		fmt.Print(bounds.FormatTopologyTable(bounds.Fig5(ds, sys), sys))
+	case 6:
+		fmt.Println("Fig. 6 — non-systolic lower bounds for specific networks, half-duplex (coefficients of log2(n))")
+		inf := []int{bounds.SInfinity}
+		fmt.Print(bounds.FormatTopologyTable(bounds.Fig6(ds), inf))
+	case 8:
+		fmt.Println("Fig. 8 — full-duplex lower bounds: t ≥ e(s)·log2(n)·(1−o(1))")
+		fmt.Print(bounds.FormatTopologyTable(bounds.Fig8(ds, ps), ps))
+	default:
+		fatalf("unknown figure %d (choose 4, 5, 6 or 8)", *figure)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func withoutInfinity(ps []int) []int {
+	var out []int
+	for _, p := range ps {
+		if p != bounds.SInfinity {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{3, 4, 5, 6, 7, 8}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gossiplb: "+format+"\n", args...)
+	os.Exit(1)
+}

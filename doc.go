@@ -1,0 +1,14 @@
+// Package repro reproduces "Lower bounds on systolic gossip" by Michele
+// Flammini and Stéphane Pérennès (IPPS 1997; journal version Information and
+// Computation 196, 2005).
+//
+// The library lives under internal/: the delay-digraph machinery
+// (internal/delay), the numeric lower-bound solvers (internal/bounds), the
+// topology generators (internal/topology), the gossip protocol model and
+// simulator (internal/gossip), concrete protocol constructions
+// (internal/protocols), separator constructions (internal/separator), the
+// linear-algebra substrate (internal/matrix) and the public facade
+// (internal/core). The benchmark harness in bench_test.go regenerates every
+// table and figure of the paper; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured values.
+package repro

@@ -1,0 +1,54 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// DBonacciRoot returns the growth rate of the d-step Fibonacci recurrence
+// a(t) = a(t−1) + a(t−2) + … + a(t−d): the unique root > 1 of
+// x^d = x^(d−1) + … + x + 1. It governs how fast the number of informed
+// vertices can grow during broadcasting in a network of parameter d
+// (maximum degree minus one for undirected graphs, maximum out-degree for
+// digraphs), per Liestman–Peters [22] and Bermond–Hell–Liestman–Peters [2].
+// d = 1 gives 1 (a path broadcasts linearly); d → ∞ tends to 2.
+func DBonacciRoot(d int) float64 {
+	if d < 1 {
+		panic(fmt.Sprintf("bounds: DBonacciRoot needs d ≥ 1, got %d", d))
+	}
+	if d == 1 {
+		return 1
+	}
+	// x^d − x^(d−1) − … − 1 = 0  ⇔  x^d·(2−x) = 1 multiplied out; solve by
+	// bisection of g(x) = x^d − (x^d − 1)/(x − 1) on (1, 2].
+	g := func(x float64) float64 {
+		return math.Pow(x, float64(d)) - (math.Pow(x, float64(d))-1)/(x-1)
+	}
+	lo, hi := 1.0000001, 2.0
+	for i := 0; i < 200 && hi-lo > 1e-15; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// BroadcastConstant returns c(d) = 1/log₂(DBonacciRoot(d)), the coefficient
+// of the broadcasting lower bound b(G) ≥ c(d)·log₂(n) for networks with
+// parameter d [22,2]. The paper quotes c(2) = 1.4404, c(3) = 1.1374,
+// c(4) = 1.0562 and c(d) ≈ 1 + log₂(e)/2^d for large d.
+func BroadcastConstant(d int) float64 {
+	if d == 1 {
+		return math.Inf(1) // linear, not logarithmic, broadcasting
+	}
+	return 1 / math.Log2(DBonacciRoot(d))
+}
+
+// BroadcastConstantAsymptote returns the large-d approximation
+// 1 + log₂(e)/2^d quoted in the introduction.
+func BroadcastConstantAsymptote(d int) float64 {
+	return 1 + math.Log2(math.E)/math.Pow(2, float64(d))
+}

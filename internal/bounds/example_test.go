@@ -1,0 +1,45 @@
+package bounds_test
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+)
+
+// The general systolic lower bound of Corollary 4.4: solve for the root λ₀
+// and convert it to the coefficient of log₂(n).
+func ExampleGeneralHalfDuplex() {
+	e, lambda := bounds.GeneralHalfDuplex(4)
+	fmt.Printf("e(4) = %.4f at λ₀ = %.4f\n", e, lambda)
+	// Output:
+	// e(4) = 1.8134 at λ₀ = 0.6823
+}
+
+// The s→∞ corollary recovers the universal 1.4404·log n bound with λ₀ the
+// inverse golden ratio.
+func ExampleGeneralHalfDuplexInfinity() {
+	e, lambda := bounds.GeneralHalfDuplexInfinity()
+	fmt.Printf("e(∞) = %.4f at λ₀ = %.4f\n", e, lambda)
+	// Output:
+	// e(∞) = 1.4404 at λ₀ = 0.6180
+}
+
+// Theorem 5.1 with the Lemma 3.1 separator of the undirected Wrapped
+// Butterfly: the paper's headline improvement at s = 4.
+func ExampleSeparatorHalfDuplex() {
+	sep := bounds.LemmaSeparator(bounds.WBF, 2)
+	e, _ := bounds.SeparatorHalfDuplex(sep, 4)
+	fmt.Printf("WBF(2,D), s=4: %.4f·log n\n", bounds.Round4(e))
+	// Output:
+	// WBF(2,D), s=4: 2.0219·log n
+}
+
+// The broadcasting constants of Liestman–Peters / Bermond et al. are
+// d-bonacci growth rates; c(2) is the golden-ratio constant.
+func ExampleBroadcastConstant() {
+	fmt.Printf("c(2) = %.4f\n", bounds.Round4(bounds.BroadcastConstant(2)))
+	fmt.Printf("c(3) = %.4f\n", bounds.Round4(bounds.BroadcastConstant(3)))
+	// Output:
+	// c(2) = 1.4404
+	// c(3) = 1.1375
+}

@@ -1,0 +1,140 @@
+package bounds
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig4Rows(t *testing.T) {
+	rows := Fig4(Fig4Periods)
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	// Monotone decreasing across the listed periods.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].E >= rows[i-1].E {
+			t.Errorf("Fig4 not decreasing at index %d", i)
+		}
+	}
+	if rows[len(rows)-1].S != SInfinity {
+		t.Error("last row should be s=inf")
+	}
+}
+
+func TestFig5CellsAtLeastGeneral(t *testing.T) {
+	periods := []int{3, 4, 5, 6, 7, 8}
+	rows := Fig5([]int{2, 3}, periods)
+	if len(rows) != len(Families)*2*len(periods) {
+		t.Fatalf("cells = %d", len(rows))
+	}
+	for _, r := range rows {
+		gen, _ := GeneralHalfDuplex(r.S)
+		if r.E < gen-1e-9 {
+			t.Errorf("%v d=%d s=%d: cell %g below general %g", r.Family, r.D, r.S, r.E, gen)
+		}
+		if r.Source != "separator" && r.Source != "general" {
+			t.Errorf("unexpected source %q", r.Source)
+		}
+		// When the source is "general" the value must equal the general
+		// bound (the paper's * marker semantics).
+		if r.Source == "general" && r.E != gen {
+			t.Errorf("general-sourced cell differs from general bound")
+		}
+	}
+}
+
+func TestFig5WBF2Golden(t *testing.T) {
+	rows := Fig5([]int{2}, []int{4})
+	for _, r := range rows {
+		if r.Family == WBF && r.S == 4 {
+			if Round4(r.E) != 2.0219 { // paper prints 2.0218 (truncated)
+				t.Errorf("WBF(2) s=4 cell = %g", r.E)
+			}
+			if r.Source != "separator" {
+				t.Errorf("WBF(2) s=4 source = %s", r.Source)
+			}
+		}
+	}
+}
+
+func TestFig6Anchors(t *testing.T) {
+	rows := Fig6([]int{2, 3})
+	byKey := map[string]TopologyRow{}
+	for _, r := range rows {
+		byKey[r.Family.String()+string(rune('0'+r.D))] = r
+	}
+	// Paper anchors: WBF(2) = 1.9750, DB(2) = 1.5876.
+	if got := Round4(byKey["WBF(d,D)2"].E); got < 1.9750 || got > 1.9751 {
+		t.Errorf("WBF(2) non-systolic = %g", got)
+	}
+	if got := Round4(byKey["DB(d,D)2"].E); got < 1.5876 || got > 1.5877 {
+		t.Errorf("DB(2) non-systolic = %g", got)
+	}
+	// DB(3) falls back to the universal 1.4404 bound per the caption.
+	db3 := byKey["DB(d,D)3"]
+	if db3.Source != "general" || Round4(db3.E) != 1.4404 {
+		t.Errorf("DB(3) = %+v, want general 1.4404", db3)
+	}
+}
+
+func TestFig8Structure(t *testing.T) {
+	periods := []int{3, 4, 8, SInfinity}
+	rows := Fig8([]int{2}, periods)
+	if len(rows) != len(Families)*len(periods) {
+		t.Fatalf("cells = %d", len(rows))
+	}
+	// Every cell at least the diameter coefficient and the general bound.
+	for _, r := range rows {
+		diam := DiameterCoefficient(r.Family, r.D)
+		if r.E < diam-1e-9 {
+			t.Errorf("%v s=%d: cell %g below diameter %g", r.Family, r.S, r.E, diam)
+		}
+	}
+	// Full-duplex cells never exceed the half-duplex Fig. 5/6 counterparts.
+	fig5 := Fig5([]int{2}, []int{3, 4, 8})
+	fd := map[string]float64{}
+	for _, r := range rows {
+		if r.S != SInfinity {
+			fd[r.Family.String()+":"+string(rune('0'+r.S))] = r.E
+		}
+	}
+	for _, r := range fig5 {
+		key := r.Family.String() + ":" + string(rune('0'+r.S))
+		if v, ok := fd[key]; ok && v > r.E+1e-9 {
+			t.Errorf("%s: full-duplex %g above half-duplex %g", key, v, r.E)
+		}
+	}
+}
+
+func TestFormatFig4(t *testing.T) {
+	out := FormatFig4(Fig4([]int{3, SInfinity}))
+	if !strings.Contains(out, "2.8808") || !strings.Contains(out, "1.4404") {
+		t.Errorf("FormatFig4 output missing values:\n%s", out)
+	}
+	if !strings.Contains(out, "inf") {
+		t.Error("missing inf label")
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Error("expected 3 lines (s, e, lambda)")
+	}
+}
+
+func TestFormatTopologyTable(t *testing.T) {
+	periods := []int{3, 4}
+	out := FormatTopologyTable(Fig5([]int{2}, periods), periods)
+	if !strings.Contains(out, "WBF(d,D)") || !strings.Contains(out, "K(d,D)") {
+		t.Errorf("missing families:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing general-bound markers")
+	}
+	// One header + 5 families + legend.
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 7 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// Missing cells render as "-".
+	partial := FormatTopologyTable(Fig6([]int{2}), periods)
+	if !strings.Contains(partial, "-") {
+		t.Error("missing-cell placeholder absent")
+	}
+}

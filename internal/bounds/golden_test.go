@@ -1,0 +1,83 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+// almost asserts |got−want| ≤ tol.
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.6f, want %.6f (±%g)", name, got, want, tol)
+	}
+}
+
+// TestFig4GoldenValues checks the general e(s) table printed in Fig. 4 and
+// the abstract: e(3)=2.8808, e(4)=1.8133, e(5)=1.6502, e(6)=1.5363,
+// e(7)=1.5021, e(8)=1.4721.
+func TestFig4GoldenValues(t *testing.T) {
+	want := map[int]float64{
+		3: 2.8808, 4: 1.8133, 5: 1.6502, 6: 1.5363, 7: 1.5021, 8: 1.4721,
+	}
+	for s, w := range want {
+		e, lambda := GeneralHalfDuplex(s)
+		almost(t, "e(s)", e, w, 1.01e-4)
+		if lambda <= 0 || lambda >= 1 {
+			t.Errorf("lambda(s=%d) = %g out of (0,1)", s, lambda)
+		}
+		// The root must actually satisfy w(λ)=1.
+		almost(t, "w(s,λ₀)", WHalfDuplex(s, lambda), 1, 1e-10)
+	}
+}
+
+// TestGeneralInfinity checks the s→∞ limit: λ₀ = 1/φ = 0.6180 and
+// e(∞) = 1.4404, the universal gossiping bound of [4,17,15,26].
+func TestGeneralInfinity(t *testing.T) {
+	e, lambda := GeneralHalfDuplexInfinity()
+	almost(t, "lambda∞", lambda, GoldenRatioInverse, 1e-10)
+	almost(t, "e(∞)", e, 1.4404, 1.01e-4)
+}
+
+// TestSeparatorGoldenS4 checks the two s=4 values quoted in the
+// introduction: g(WBF(2,D)) ≥ 2.0218·log n and g(DB(2,D)) ≥ 1.8133·log n.
+func TestSeparatorGoldenS4(t *testing.T) {
+	wbf := LemmaSeparator(WBF, 2)
+	e, _ := SeparatorHalfDuplex(wbf, 4)
+	almost(t, "WBF(2,D) s=4", e, 2.0218, 5e-4)
+
+	db := LemmaSeparator(DB, 2)
+	eDB := BestHalfDuplex(db, 4)
+	almost(t, "DB(2,D) s=4", eDB, 1.8133, 5e-4)
+}
+
+// TestSeparatorGoldenNonSystolic checks the non-systolic values quoted in
+// the introduction: WBF(2,D) ≥ 1.9750·log n and DB(2,D) ≥ 1.5876·log n.
+func TestSeparatorGoldenNonSystolic(t *testing.T) {
+	wbf := LemmaSeparator(WBF, 2)
+	e, _ := SeparatorHalfDuplexInfinity(wbf)
+	almost(t, "WBF(2,D) s=inf", e, 1.9750, 5e-4)
+
+	db := LemmaSeparator(DB, 2)
+	eDB, _ := SeparatorHalfDuplexInfinity(db)
+	almost(t, "DB(2,D) s=inf", eDB, 1.5876, 5e-4)
+}
+
+// TestBroadcastConstants checks c(2)=1.4404, c(3)=1.1374, c(4)=1.0562 from
+// the introduction.
+func TestBroadcastConstants(t *testing.T) {
+	almost(t, "c(2)", BroadcastConstant(2), 1.4404, 1.01e-4)
+	almost(t, "c(3)", BroadcastConstant(3), 1.1374, 1.01e-4)
+	almost(t, "c(4)", BroadcastConstant(4), 1.0562, 1.01e-4)
+}
+
+// TestFullDuplexGeneralMatchesBroadcast verifies the Section 6 remark that
+// the general full-duplex systolic bound coincides with the broadcasting
+// bound: λ+…+λ^{s−1}=1 is the (s−1)-bonacci equation, so
+// e_fd(s) = c(s−1).
+func TestFullDuplexGeneralMatchesBroadcast(t *testing.T) {
+	for s := 3; s <= 10; s++ {
+		e, _ := GeneralFullDuplex(s)
+		almost(t, "e_fd(s) vs c(s-1)", e, BroadcastConstant(s-1), 1e-9)
+	}
+}

@@ -1,0 +1,102 @@
+// Package bounds implements the numeric lower-bound machinery of the paper:
+// the polynomials p_i(λ), the systolic norm bound w(s,λ) of Lemma 4.3, the
+// general-bound solver of Corollary 4.4 (Fig. 4), the separator-refined
+// optimizer of Theorem 5.1 (Figs. 5 and 6), the full-duplex variants of
+// Section 6 (Fig. 8), the broadcasting constants c(d) of Liestman–Peters and
+// Bermond et al. used for comparison, and the explicit finite-n bound of
+// Theorem 4.1.
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// P returns p_i(λ) = 1 + λ² + λ⁴ + … + λ^(2i−2), the i-term even-power sum
+// used throughout Section 4. P(0, λ) = 0 by the empty-sum convention.
+func P(i int, lambda float64) float64 {
+	if i < 0 {
+		panic(fmt.Sprintf("bounds: P with negative index %d", i))
+	}
+	if i == 0 {
+		return 0
+	}
+	l2 := lambda * lambda
+	if l2 == 1 {
+		return float64(i)
+	}
+	// Closed form (1 − λ^{2i}) / (1 − λ²); the direct sum is used for tiny i
+	// to avoid pow overhead and cancellation.
+	if i <= 4 {
+		s, t := 0.0, 1.0
+		for k := 0; k < i; k++ {
+			s += t
+			t *= l2
+		}
+		return s
+	}
+	return (1 - math.Pow(l2, float64(i))) / (1 - l2)
+}
+
+// PInfinity returns lim_{i→∞} p_i(λ) = 1/(1−λ²) for 0 < λ < 1.
+func PInfinity(lambda float64) float64 {
+	if lambda <= 0 || lambda >= 1 {
+		panic(fmt.Sprintf("bounds: PInfinity needs 0 < λ < 1, got %g", lambda))
+	}
+	return 1 / (1 - lambda*lambda)
+}
+
+// GeomSum returns λ + λ² + … + λ^(s−1), the full-duplex norm bound of
+// Lemma 6.1. GeomSum(1, λ) = 0.
+func GeomSum(s int, lambda float64) float64 {
+	if s < 1 {
+		panic(fmt.Sprintf("bounds: GeomSum with s=%d < 1", s))
+	}
+	s1 := 0.0
+	t := lambda
+	for k := 1; k <= s-1; k++ {
+		s1 += t
+		t *= lambda
+	}
+	return s1
+}
+
+// GeomSumInfinity returns λ/(1−λ), the s→∞ limit of GeomSum.
+func GeomSumInfinity(lambda float64) float64 {
+	if lambda <= 0 || lambda >= 1 {
+		panic(fmt.Sprintf("bounds: GeomSumInfinity needs 0 < λ < 1, got %g", lambda))
+	}
+	return lambda / (1 - lambda)
+}
+
+// WHalfDuplex returns w(s,λ) = λ·√(p⌈s/2⌉(λ))·√(p⌊s/2⌋(λ)), the upper bound
+// on ‖M(λ)‖ for s-systolic protocols in the directed and half-duplex cases
+// (Lemma 4.3). It is strictly increasing in λ on (0,1) and decreasing in s.
+func WHalfDuplex(s int, lambda float64) float64 {
+	if s < 2 {
+		panic(fmt.Sprintf("bounds: WHalfDuplex with s=%d < 2", s))
+	}
+	hi := (s + 1) / 2 // ⌈s/2⌉
+	lo := s / 2       // ⌊s/2⌋
+	return lambda * math.Sqrt(P(hi, lambda)) * math.Sqrt(P(lo, lambda))
+}
+
+// WHalfDuplexInfinity returns the s→∞ limit λ·p_∞(λ) = λ/(1−λ²), used for
+// the non-systolic corollaries.
+func WHalfDuplexInfinity(lambda float64) float64 {
+	return lambda * PInfinity(lambda)
+}
+
+// WFullDuplex returns the full-duplex norm bound λ + λ² + … + λ^(s−1)
+// (Lemma 6.1).
+func WFullDuplex(s int, lambda float64) float64 {
+	if s < 2 {
+		panic(fmt.Sprintf("bounds: WFullDuplex with s=%d < 2", s))
+	}
+	return GeomSum(s, lambda)
+}
+
+// WFullDuplexInfinity returns the s→∞ limit λ/(1−λ).
+func WFullDuplexInfinity(lambda float64) float64 {
+	return GeomSumInfinity(lambda)
+}

@@ -1,0 +1,271 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPSmallValues(t *testing.T) {
+	lambda := 0.5
+	// p_1 = 1, p_2 = 1 + λ², p_3 = 1 + λ² + λ⁴.
+	if P(1, lambda) != 1 {
+		t.Errorf("p_1 = %g", P(1, lambda))
+	}
+	if got, want := P(2, lambda), 1+0.25; math.Abs(got-want) > 1e-15 {
+		t.Errorf("p_2 = %g, want %g", got, want)
+	}
+	if got, want := P(3, lambda), 1+0.25+0.0625; math.Abs(got-want) > 1e-15 {
+		t.Errorf("p_3 = %g, want %g", got, want)
+	}
+	if P(0, lambda) != 0 {
+		t.Errorf("p_0 = %g, want 0 (empty sum)", P(0, lambda))
+	}
+}
+
+func TestPClosedFormMatchesDirectSum(t *testing.T) {
+	for _, lambda := range []float64{0.1, 0.5, 0.9, 0.99} {
+		for i := 1; i <= 12; i++ {
+			direct := 0.0
+			for c := 0; c < i; c++ {
+				direct += math.Pow(lambda, float64(2*c))
+			}
+			if got := P(i, lambda); math.Abs(got-direct) > 1e-12 {
+				t.Errorf("P(%d,%g) = %g, direct sum %g", i, lambda, got, direct)
+			}
+		}
+	}
+}
+
+// TestPAdditionIdentity checks the identity the Lemma 4.2 proof uses:
+// p_i(λ) + λ^{2i}·p_j(λ) = p_{i+j}(λ).
+func TestPAdditionIdentity(t *testing.T) {
+	f := func(a, b uint8, lRaw uint16) bool {
+		i := int(a%10) + 1
+		j := int(b%10) + 1
+		lambda := 0.05 + 0.9*float64(lRaw)/65535
+		lhs := P(i, lambda) + math.Pow(lambda, float64(2*i))*P(j, lambda)
+		rhs := P(i+j, lambda)
+		return math.Abs(lhs-rhs) < 1e-12*(1+rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPProductInequality checks the rebalancing inequality from the proof of
+// Lemma 4.3: for i ≥ j ≥ 1, p_{i+1}(λ)·p_{j−1}(λ) < p_i(λ)·p_j(λ)
+// (products of more balanced splits are larger).
+func TestPProductInequality(t *testing.T) {
+	for _, lambda := range []float64{0.2, 0.5, 0.8, 0.95} {
+		for i := 1; i <= 8; i++ {
+			for j := 1; j <= i; j++ {
+				lhs := P(i+1, lambda) * P(j-1, lambda)
+				rhs := P(i, lambda) * P(j, lambda)
+				if lhs >= rhs {
+					t.Errorf("λ=%g i=%d j=%d: p_{i+1}p_{j-1}=%g ≥ p_i p_j=%g", lambda, i, j, lhs, rhs)
+				}
+			}
+		}
+	}
+}
+
+func TestPInfinityLimit(t *testing.T) {
+	lambda := 0.7
+	if got, want := PInfinity(lambda), P(200, lambda); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PInfinity = %g, P(200) = %g", got, want)
+	}
+}
+
+func TestGeomSum(t *testing.T) {
+	lambda := 0.5
+	// s=4: λ + λ² + λ³ = 0.875.
+	if got := GeomSum(4, lambda); math.Abs(got-0.875) > 1e-15 {
+		t.Errorf("GeomSum(4) = %g", got)
+	}
+	if GeomSum(1, lambda) != 0 {
+		t.Error("GeomSum(1) should be 0")
+	}
+	if got, want := GeomSumInfinity(lambda), 1.0; math.Abs(got-want) > 1e-15 {
+		t.Errorf("GeomSumInfinity(0.5) = %g, want 1", got)
+	}
+}
+
+// TestWMonotoneInLambda: w(s,λ) strictly increases in λ — the property the
+// bisection solver relies on.
+func TestWMonotoneInLambda(t *testing.T) {
+	for _, s := range []int{3, 4, 7, 12} {
+		prev := 0.0
+		for _, lambda := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			cur := WHalfDuplex(s, lambda)
+			if cur <= prev {
+				t.Errorf("w(%d,·) not increasing at λ=%g", s, lambda)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestWMonotoneInS: for fixed λ, w(s,λ) is non-decreasing in s (longer
+// periods allow more paths), so e(s) decreases in s.
+func TestWMonotoneInS(t *testing.T) {
+	for _, lambda := range []float64{0.3, 0.6} {
+		prev := 0.0
+		for s := 3; s <= 12; s++ {
+			cur := WHalfDuplex(s, lambda)
+			if cur < prev-1e-15 {
+				t.Errorf("w(s,%g) decreased at s=%d", lambda, s)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestWInfinityDominates: w(s,λ) ≤ w_∞(λ) for all s.
+func TestWInfinityDominates(t *testing.T) {
+	for _, lambda := range []float64{0.2, 0.5, 0.61} {
+		inf := WHalfDuplexInfinity(lambda)
+		for s := 3; s <= 20; s++ {
+			if WHalfDuplex(s, lambda) > inf+1e-12 {
+				t.Errorf("w(%d,%g) exceeds the s→∞ limit", s, lambda)
+			}
+		}
+	}
+}
+
+// TestWFullVsHalf: the full-duplex cap exceeds the half-duplex cap
+// (full-duplex protocols are more powerful, so their λ root is smaller and
+// the resulting e(s) lower).
+func TestWFullVsHalf(t *testing.T) {
+	for _, s := range []int{3, 4, 6, 10} {
+		for _, lambda := range []float64{0.3, 0.5, 0.6} {
+			if WFullDuplex(s, lambda) < WHalfDuplex(s, lambda)-1e-12 {
+				t.Errorf("s=%d λ=%g: full-duplex cap below half-duplex cap", s, lambda)
+			}
+		}
+	}
+}
+
+// TestESDecreasing: e(s) is strictly decreasing in s toward 1.4404.
+func TestESDecreasing(t *testing.T) {
+	prev := math.Inf(1)
+	for s := 3; s <= 20; s++ {
+		e, _ := GeneralHalfDuplex(s)
+		if e >= prev {
+			t.Errorf("e(%d) = %g not below e(%d) = %g", s, e, s-1, prev)
+		}
+		prev = e
+	}
+	eInf, _ := GeneralHalfDuplexInfinity()
+	if prev < eInf {
+		t.Errorf("e(20) = %g below the s→∞ limit %g", prev, eInf)
+	}
+}
+
+// TestLambdaDecreasingInS: the root λ₀(s) decreases toward 1/φ.
+func TestLambdaDecreasingInS(t *testing.T) {
+	prev := 1.0
+	for s := 3; s <= 16; s++ {
+		_, lambda := GeneralHalfDuplex(s)
+		if lambda >= prev {
+			t.Errorf("λ₀(%d) = %g not decreasing", s, lambda)
+		}
+		if lambda < GoldenRatioInverse-1e-9 {
+			t.Errorf("λ₀(%d) = %g below 1/φ", s, lambda)
+		}
+		prev = lambda
+	}
+}
+
+func TestSolveUnitRootOnSimpleFunction(t *testing.T) {
+	// w(λ) = 2λ has root 0.5.
+	root := SolveUnitRoot(func(l float64) float64 { return 2 * l })
+	if math.Abs(root-0.5) > 1e-12 {
+		t.Errorf("root = %g, want 0.5", root)
+	}
+}
+
+func TestEPanicsOutOfRange(t *testing.T) {
+	for _, bad := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("E(%g) should panic", bad)
+				}
+			}()
+			E(bad)
+		}()
+	}
+}
+
+func TestSTwoLowerBound(t *testing.T) {
+	if STwoLowerBound(10) != 9 || STwoLowerBound(1) != 0 {
+		t.Error("s=2 bound wrong")
+	}
+}
+
+func TestTheorem41LowerBoundBehaviour(t *testing.T) {
+	_, lambda := GeneralHalfDuplex(4)
+	// Monotone in n.
+	prev := 0
+	for _, n := range []int{2, 16, 256, 65536} {
+		got := Theorem41LowerBound(n, lambda)
+		if got < prev {
+			t.Errorf("bound not monotone at n=%d", n)
+		}
+		prev = got
+	}
+	// For n = 2^16 and e(4) ≈ 1.81, the bound is close to e·16 minus the
+	// log-log correction: it must be in (e·16 − 20, e·16].
+	got := Theorem41LowerBound(1<<16, lambda)
+	eTimesLog := 1.813358 * 16
+	if float64(got) > eTimesLog || float64(got) < eTimesLog-20 {
+		t.Errorf("bound %d implausible vs e·log n = %g", got, eTimesLog)
+	}
+	if Theorem41LowerBound(1, lambda) != 0 {
+		t.Error("n=1 should need 0 rounds")
+	}
+}
+
+func TestDBonacciRoots(t *testing.T) {
+	phi := (1 + math.Sqrt(5)) / 2
+	if got := DBonacciRoot(2); math.Abs(got-phi) > 1e-10 {
+		t.Errorf("2-bonacci root = %g, want φ", got)
+	}
+	// Tribonacci constant 1.839286755…
+	if got := DBonacciRoot(3); math.Abs(got-1.8392867552) > 1e-8 {
+		t.Errorf("tribonacci root = %g", got)
+	}
+	if DBonacciRoot(1) != 1 {
+		t.Error("1-bonacci root should be 1")
+	}
+	// Roots increase toward 2.
+	prev := 1.0
+	for d := 2; d <= 12; d++ {
+		r := DBonacciRoot(d)
+		if r <= prev || r >= 2 {
+			t.Errorf("d-bonacci root ordering broken at d=%d: %g", d, r)
+		}
+		prev = r
+	}
+}
+
+func TestBroadcastConstantAsymptote(t *testing.T) {
+	// The approximation should approach the true value for large d.
+	for _, d := range []int{8, 12} {
+		exact := BroadcastConstant(d)
+		approx := BroadcastConstantAsymptote(d)
+		if math.Abs(exact-approx) > 0.05 {
+			t.Errorf("d=%d: asymptote %g far from exact %g", d, approx, exact)
+		}
+	}
+	if !math.IsInf(BroadcastConstant(1), 1) {
+		t.Error("c(1) should be +Inf (linear broadcasting)")
+	}
+}
+
+func TestRound4(t *testing.T) {
+	if Round4(1.81335) != 1.8134 || Round4(2.88084) != 2.8808 {
+		t.Error("Round4 wrong")
+	}
+}

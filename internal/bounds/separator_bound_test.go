@@ -1,0 +1,148 @@
+package bounds
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeparatorValid(t *testing.T) {
+	if !(Separator{Alpha: 1, L: 1}).Valid() {
+		t.Error("α=ℓ=1 should be valid")
+	}
+	if (Separator{Alpha: 2, L: 1}).Valid() {
+		t.Error("αℓ > 1 should be invalid")
+	}
+	if (Separator{Alpha: 0, L: 1}).Valid() {
+		t.Error("α=0 should be invalid")
+	}
+}
+
+// TestSeparatorBoundNeverBelowFeasibleEndpoint: the optimizer must return at
+// least the value at the boundary λ₀ (where w = 1), which equals ℓ·α·e_gen.
+func TestSeparatorBoundNeverBelowFeasibleEndpoint(t *testing.T) {
+	for _, s := range []int{3, 4, 6, 8} {
+		for _, sep := range []Separator{
+			LemmaSeparator(WBF, 2), LemmaSeparator(DB, 2), LemmaSeparator(BF, 3),
+		} {
+			e, lam := SeparatorHalfDuplex(sep, s)
+			root := SolveUnitRoot(func(l float64) float64 { return WHalfDuplex(s, l) })
+			endpoint := sep.L * sep.Alpha / math.Log2(1/root)
+			if e < endpoint-1e-9 {
+				t.Errorf("s=%d sep=%+v: optimizer %g below endpoint %g", s, sep, e, endpoint)
+			}
+			if lam <= 0 || lam > root+1e-9 {
+				t.Errorf("maximizer λ=%g outside (0, root=%g]", lam, root)
+			}
+		}
+	}
+}
+
+// TestSeparatorBoundScalesWithL: doubling ℓ at fixed αℓ... instead check a
+// simple scaling: with α'=α/2 and same ℓ the bound strictly decreases.
+func TestSeparatorBoundDecreasesWithAlpha(t *testing.T) {
+	sep := LemmaSeparator(WBF, 2)
+	weak := Separator{Alpha: sep.Alpha / 2, L: sep.L}
+	e1, _ := SeparatorHalfDuplex(sep, 4)
+	e2, _ := SeparatorHalfDuplex(weak, 4)
+	if e2 >= e1 {
+		t.Errorf("halving α did not decrease the bound: %g vs %g", e2, e1)
+	}
+}
+
+// TestSeparatorBoundDecreasesWithS: for fixed separator, the systolic bound
+// is non-increasing in s and dominated by the s=3 value.
+func TestSeparatorBoundDecreasesWithS(t *testing.T) {
+	sep := LemmaSeparator(WBF, 2)
+	prev := math.Inf(1)
+	for s := 3; s <= 10; s++ {
+		e, _ := SeparatorHalfDuplex(sep, s)
+		if e > prev+1e-9 {
+			t.Errorf("separator bound increased at s=%d: %g > %g", s, e, prev)
+		}
+		prev = e
+	}
+	inf, _ := SeparatorHalfDuplexInfinity(sep)
+	if prev < inf-1e-9 {
+		t.Errorf("s=10 bound %g below s→∞ bound %g", prev, inf)
+	}
+}
+
+// TestSeparatorFullDuplexBelowHalfDuplex: full-duplex bounds never exceed
+// the half-duplex ones (the model is strictly more powerful).
+func TestSeparatorFullDuplexBelowHalfDuplex(t *testing.T) {
+	for _, f := range Families {
+		sep := LemmaSeparator(f, 2)
+		for _, s := range []int{3, 4, 6, 8} {
+			hd := BestHalfDuplex(sep, s)
+			fd := BestFullDuplex(sep, s)
+			if fd > hd+1e-9 {
+				t.Errorf("%v s=%d: full-duplex bound %g above half-duplex %g", f, s, fd, hd)
+			}
+		}
+	}
+}
+
+func TestLemmaSeparatorParameters(t *testing.T) {
+	// αℓ = 1 for every family (the separators are "perfect").
+	for _, f := range Families {
+		for _, d := range []int{2, 3, 4, 8} {
+			sep := LemmaSeparator(f, d)
+			if math.Abs(sep.Alpha*sep.L-1) > 1e-12 {
+				t.Errorf("%v d=%d: αℓ = %g, want 1", f, d, sep.Alpha*sep.L)
+			}
+			if !sep.Valid() {
+				t.Errorf("%v d=%d: invalid separator", f, d)
+			}
+		}
+	}
+	// Spot values for d=2: WBF has α=2/3, ℓ=3/2; DB has α=1, ℓ=1.
+	w := LemmaSeparator(WBF, 2)
+	if math.Abs(w.Alpha-2.0/3) > 1e-12 || math.Abs(w.L-1.5) > 1e-12 {
+		t.Errorf("WBF d=2 separator = %+v", w)
+	}
+	db := LemmaSeparator(DB, 2)
+	if db.Alpha != 1 || db.L != 1 {
+		t.Errorf("DB d=2 separator = %+v", db)
+	}
+}
+
+func TestDiameterCoefficients(t *testing.T) {
+	if DiameterCoefficient(DB, 2) != 1 {
+		t.Error("DB(2) diameter coefficient should be 1")
+	}
+	if DiameterCoefficient(WBF, 2) != 1.5 {
+		t.Error("WBF(2) diameter coefficient should be 1.5")
+	}
+	if DiameterCoefficient(BF, 2) != 2 {
+		t.Error("BF(2) diameter coefficient should be 2")
+	}
+	// Larger degree shrinks the diameter in log n units.
+	if DiameterCoefficient(DB, 4) >= DiameterCoefficient(DB, 2) {
+		t.Error("diameter coefficient should shrink with degree")
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	names := map[Family]string{
+		BF: "BF(d,D)", WBFDirected: "WBF->(d,D)", WBF: "WBF(d,D)",
+		DB: "DB(d,D)", Kautz: "K(d,D)",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(f), f.String(), want)
+		}
+	}
+	if !strings.Contains(Family(99).String(), "99") {
+		t.Error("unknown family string")
+	}
+}
+
+func TestLemmaSeparatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("d=1 should panic")
+		}
+	}()
+	LemmaSeparator(DB, 1)
+}

@@ -1,0 +1,103 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTheorem51LowerBoundMonotoneInC(t *testing.T) {
+	_, lambda := GeneralHalfDuplex(4)
+	w := math.Min(1, WHalfDuplex(4, lambda)) // = 1 at the root (clamp FP residue)
+	prev := 0
+	for _, c := range []int{1, 8, 64, 4096} {
+		got := Theorem51LowerBound(c, 5, lambda, w)
+		if got < prev {
+			t.Errorf("bound not monotone in c at %d", c)
+		}
+		prev = got
+	}
+}
+
+func TestTheorem51LowerBoundGrowsWithD(t *testing.T) {
+	// Below the root (w < 1), larger separator distance strengthens the
+	// bound: each of the d−1 forced hops contributes −log₂ w.
+	lambda := 0.4
+	w := WHalfDuplex(4, lambda)
+	if w >= 1 {
+		t.Fatalf("test setup: w = %g", w)
+	}
+	prev := 0
+	for _, d := range []int{2, 4, 8, 16} {
+		got := Theorem51LowerBound(1024, d, lambda, w)
+		if got < prev {
+			t.Errorf("bound not monotone in d at %d", d)
+		}
+		prev = got
+	}
+	if prev < 16 {
+		t.Errorf("bound %d did not exceed the largest distance", prev)
+	}
+}
+
+func TestTheorem51LowerBoundDegenerate(t *testing.T) {
+	if Theorem51LowerBound(0, 3, 0.5, 0.9) != 0 {
+		t.Error("c=0 should give 0")
+	}
+	if Theorem51LowerBound(5, 0, 0.5, 0.9) != 0 {
+		t.Error("d=0 should give 0")
+	}
+}
+
+func TestTheorem51LowerBoundPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Theorem51LowerBound(4, 2, 1.5, 0.5) },
+		func() { Theorem51LowerBound(4, 2, 0.5, 1.5) },
+		func() { Theorem51LowerBound(4, 2, 0.5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestTheorem51SatisfiesItsOwnInequality: the returned t is the smallest
+// satisfying t ≥ rhs(t); t−1 must violate it (when t > 1).
+func TestTheorem51SatisfiesItsOwnInequality(t *testing.T) {
+	f := func(cRaw, dRaw uint8, lRaw uint16) bool {
+		c := 1 + int(cRaw)%2000
+		d := 1 + int(dRaw)%20
+		lambda := 0.1 + 0.8*float64(lRaw)/65535
+		w := math.Min(1, WHalfDuplex(4, lambda))
+		got := Theorem51LowerBound(c, d, lambda, w)
+		rhs := func(tt int) float64 {
+			slack := float64(tt - d + 2)
+			if slack < 1 {
+				slack = 1
+			}
+			return (math.Log2(float64(c)) - float64(d-1)*math.Log2(w) -
+				math.Log2(slack) - math.Log2(float64(tt))) / math.Log2(1/lambda)
+		}
+		if float64(got) < rhs(got) {
+			return false
+		}
+		if got > 1 && float64(got-1) >= rhs(got-1) {
+			return false // not minimal
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSTwoFullDuplexLowerBound(t *testing.T) {
+	if STwoFullDuplexLowerBound(16) != 4 || STwoFullDuplexLowerBound(17) != 4 || STwoFullDuplexLowerBound(1) != 1 {
+		t.Error("sqrt bound wrong")
+	}
+}

@@ -1,0 +1,92 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// Family identifies one of the network families of Lemma 3.1.
+type Family int
+
+const (
+	// BF is the (unwrapped) Butterfly BF(d,D), an undirected network.
+	BF Family = iota
+	// WBFDirected is the directed Wrapped Butterfly WBF→(d,D).
+	WBFDirected
+	// WBF is the undirected Wrapped Butterfly WBF(d,D).
+	WBF
+	// DB covers the de Bruijn digraph and graph DB(d,D) (the separator of
+	// Lemma 3.1 is the same in both orientations).
+	DB
+	// Kautz covers the Kautz digraph and graph K(d,D).
+	Kautz
+)
+
+// String returns the paper's name for the family.
+func (f Family) String() string {
+	switch f {
+	case BF:
+		return "BF(d,D)"
+	case WBFDirected:
+		return "WBF->(d,D)"
+	case WBF:
+		return "WBF(d,D)"
+	case DB:
+		return "DB(d,D)"
+	case Kautz:
+		return "K(d,D)"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Families lists the families in the order of Lemma 3.1 / the figures.
+var Families = []Family{BF, WBFDirected, WBF, DB, Kautz}
+
+// LemmaSeparator returns the ⟨α,ℓ⟩-separator of Lemma 3.1 for a family with
+// degree parameter d ≥ 2:
+//
+//  1. BF(d,D):   α = log₂(d)/2,  ℓ = 2/log₂(d)
+//  2. WBF→(d,D): α = log₂(d)/2,  ℓ = 2/log₂(d)
+//  3. WBF(d,D):  α = 2·log₂(d)/3, ℓ = 3/(2·log₂(d))
+//  4. DB(d,D):   α = log₂(d),    ℓ = 1/log₂(d)
+//  5. K(d,D):    α = log₂(d),    ℓ = 1/log₂(d)
+func LemmaSeparator(f Family, d int) Separator {
+	if d < 2 {
+		panic(fmt.Sprintf("bounds: LemmaSeparator needs d ≥ 2, got %d", d))
+	}
+	ld := math.Log2(float64(d))
+	switch f {
+	case BF, WBFDirected:
+		return Separator{Alpha: ld / 2, L: 2 / ld}
+	case WBF:
+		return Separator{Alpha: 2 * ld / 3, L: 3 / (2 * ld)}
+	case DB, Kautz:
+		return Separator{Alpha: ld, L: 1 / ld}
+	default:
+		panic(fmt.Sprintf("bounds: unknown family %v", f))
+	}
+}
+
+// DiameterCoefficient returns the asymptotic diameter of the family
+// expressed as a multiple of log₂(n): the trivial lower bound that Fig. 6
+// lists as "diam." for some entries.
+//
+//   - BF(d,D): diameter 2D ~ 2·log₂(n)/log₂(d)
+//   - WBF→(d,D): ~ 2·log₂(n)/log₂(d) (wrap + descent)
+//   - WBF(d,D): D + ⌊D/2⌋ ~ 1.5·log₂(n)/log₂(d)
+//   - DB(d,D): D = log₂(n)/log₂(d)
+//   - K(d,D):  D ~ log₂(n)/log₂(d)
+func DiameterCoefficient(f Family, d int) float64 {
+	ld := math.Log2(float64(d))
+	switch f {
+	case BF, WBFDirected:
+		return 2 / ld
+	case WBF:
+		return 1.5 / ld
+	case DB, Kautz:
+		return 1 / ld
+	default:
+		panic(fmt.Sprintf("bounds: unknown family %v", f))
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gossip"
+	"repro/internal/protocols"
+)
+
+func TestNewNetworkKinds(t *testing.T) {
+	cases := []struct {
+		kind string
+		a, b int
+		n    int
+	}{
+		{"path", 5, 0, 5},
+		{"cycle", 6, 0, 6},
+		{"complete", 4, 0, 4},
+		{"hypercube", 3, 0, 8},
+		{"grid", 3, 4, 12},
+		{"torus", 3, 3, 9},
+		{"tree", 2, 2, 7},
+		{"shuffle-exchange", 3, 0, 8},
+		{"ccc", 3, 0, 24},
+		{"butterfly", 2, 3, 32},
+		{"wbf", 2, 3, 24},
+		{"wbf-digraph", 2, 3, 24},
+		{"debruijn", 2, 4, 16},
+		{"debruijn-digraph", 2, 4, 16},
+		{"kautz", 2, 3, 12},
+		{"kautz-digraph", 2, 3, 12},
+	}
+	for _, c := range cases {
+		net, err := NewNetwork(c.kind, c.a, c.b)
+		if err != nil {
+			t.Errorf("%s: %v", c.kind, err)
+			continue
+		}
+		if net.G.N() != c.n {
+			t.Errorf("%s: N = %d, want %d", c.kind, net.G.N(), c.n)
+		}
+	}
+}
+
+func TestNewNetworkUnknownKind(t *testing.T) {
+	_, err := NewNetwork("moebius", 3, 3)
+	if err == nil || !strings.Contains(err.Error(), "accepted") {
+		t.Errorf("unknown kind error = %v", err)
+	}
+}
+
+func TestNewNetworkBadParams(t *testing.T) {
+	if _, err := NewNetwork("cycle", 1, 0); err == nil {
+		t.Error("bad cycle params accepted (panic not converted)")
+	}
+	if _, err := NewNetwork("debruijn", 1, 4); err == nil {
+		t.Error("bad de Bruijn degree accepted")
+	}
+}
+
+func TestFamilyClassification(t *testing.T) {
+	db, _ := NewNetwork("debruijn", 2, 4)
+	if !db.FamilyKnown || db.DegreeParam != 2 {
+		t.Error("de Bruijn family metadata wrong")
+	}
+	p, _ := NewNetwork("path", 5, 0)
+	if p.FamilyKnown {
+		t.Error("path should not claim a paper family")
+	}
+	if p.DegreeParam != 1 {
+		t.Errorf("path degree param = %d, want 1", p.DegreeParam)
+	}
+}
+
+func TestEvaluateGeneralVsSeparator(t *testing.T) {
+	// WBF(2,D) at s=4 must use the separator bound 2.0218 > general 1.8133.
+	w, _ := NewNetwork("wbf", 2, 4)
+	b := Evaluate(w, Request{Mode: gossip.HalfDuplex, Period: 4})
+	if b.Source != "separator" {
+		t.Errorf("WBF s=4 source = %s, want separator", b.Source)
+	}
+	if b.Coefficient < 2.0 || b.Coefficient > 2.05 {
+		t.Errorf("WBF s=4 coefficient = %g", b.Coefficient)
+	}
+	// A path has no family: always the general bound.
+	p, _ := NewNetwork("path", 16, 0)
+	bp := Evaluate(p, Request{Mode: gossip.HalfDuplex, Period: 4})
+	if bp.Source != "general" {
+		t.Errorf("path source = %s", bp.Source)
+	}
+}
+
+func TestEvaluateSTwo(t *testing.T) {
+	c, _ := NewNetwork("cycle", 10, 0)
+	b := Evaluate(c, Request{Mode: gossip.HalfDuplex, Period: 2})
+	if b.Rounds != 9 {
+		t.Errorf("s=2 bound = %d rounds, want n-1 = 9", b.Rounds)
+	}
+}
+
+func TestEvaluateFullDuplex(t *testing.T) {
+	db, _ := NewNetwork("debruijn", 2, 5)
+	b := Evaluate(db, Request{Mode: gossip.FullDuplex, Period: 4})
+	if b.Coefficient <= 0 {
+		t.Error("full-duplex bound not positive")
+	}
+	// Non-systolic full-duplex on de Bruijn: diameter coefficient
+	// 1/log2(d) = 1 competes with separator/general values.
+	binf := Evaluate(db, Request{Mode: gossip.FullDuplex, Period: NonSystolic})
+	if binf.Coefficient < 1 {
+		t.Errorf("full-duplex non-systolic coefficient = %g < diameter", binf.Coefficient)
+	}
+}
+
+func TestEvaluateRoundsPositive(t *testing.T) {
+	for _, kind := range []string{"debruijn", "kautz", "wbf", "butterfly"} {
+		net, err := NewNetwork(kind, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := Evaluate(net, Request{Mode: gossip.HalfDuplex, Period: 6})
+		if b.Rounds <= 0 {
+			t.Errorf("%s: rounds bound = %d", kind, b.Rounds)
+		}
+	}
+}
+
+func TestAnalyzePeriodicOnDeBruijn(t *testing.T) {
+	net, _ := NewNetwork("debruijn", 2, 4)
+	p := protocols.PeriodicHalfDuplex(net.G)
+	rep, err := Analyze(net, p, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TheoremRespected {
+		t.Errorf("Theorem 4.1 violated?! %v", rep)
+	}
+	if rep.Measured < rep.LowerBound.Rounds {
+		t.Errorf("measured %d < lower bound %d: paper falsified or bug", rep.Measured, rep.LowerBound.Rounds)
+	}
+	if rep.NormAtRoot > rep.NormCap+1e-8 {
+		t.Errorf("norm at root %g exceeds cap %g", rep.NormAtRoot, rep.NormCap)
+	}
+	if rep.DelayVerts == 0 || rep.DelayArcs == 0 {
+		t.Error("empty delay digraph")
+	}
+	if !strings.Contains(rep.String(), "measured") {
+		t.Error("report string malformed")
+	}
+}
+
+func TestAnalyzeFullDuplexHypercube(t *testing.T) {
+	net, _ := NewNetwork("hypercube", 4, 0)
+	p := protocols.HypercubeExchange(4)
+	rep, err := Analyze(net, p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Measured != 4 {
+		t.Errorf("Q4 measured = %d, want 4", rep.Measured)
+	}
+	if !rep.TheoremRespected {
+		t.Error("Theorem 4.1 violated on the optimal hypercube protocol")
+	}
+}
+
+func TestAnalyzeSTwoCycle(t *testing.T) {
+	net, _ := NewNetwork("cycle", 8, 0)
+	// Build the directed 2-phase protocol on the symmetric cycle (arcs are
+	// present in both orientations, we use forward ones).
+	p := protocols.CycleTwoPhase(8)
+	p.Mode = gossip.HalfDuplex
+	rep, err := Analyze(net, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TheoremRespected {
+		t.Errorf("s=2 protocol measured %d rounds < n-1", rep.Measured)
+	}
+}
+
+func TestAnalyzeIncompleteProtocol(t *testing.T) {
+	net, _ := NewNetwork("path", 6, 0)
+	p := protocols.PathZigZag(6)
+	if _, err := Analyze(net, p, 3); err == nil {
+		t.Error("insufficient budget accepted")
+	}
+}
+
+func TestKindsListed(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != len(map[string]bool{
+		"path": true, "cycle": true, "complete": true, "hypercube": true,
+		"grid": true, "torus": true, "tree": true, "shuffle-exchange": true,
+		"ccc": true, "butterfly": true, "wbf": true, "wbf-digraph": true,
+		"debruijn": true, "debruijn-digraph": true, "kautz": true, "kautz-digraph": true,
+	}) {
+		t.Errorf("Kinds() = %v", ks)
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Error("Kinds not sorted")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package core is the public API of the systolic-gossip reproduction. It
+// ties the substrates together: a named-network catalog over the topology
+// generators, lower-bound evaluation per the paper's Corollary 4.4,
+// Theorem 5.1 and Section 6 (with the Lemma 3.1 separator parameters filled
+// in automatically for the families the paper studies), and an end-to-end
+// protocol analysis pipeline that validates a protocol, simulates it,
+// builds its delay digraph and checks the paper's inequalities against the
+// measured behaviour.
+//
+// Typical use:
+//
+//	net, _ := core.NewNetwork("debruijn", 2, 5)
+//	bound := core.Evaluate(net, core.Request{Mode: gossip.HalfDuplex, Period: 4})
+//	p := protocols.PeriodicHalfDuplex(net.G)
+//	report, _ := core.Analyze(net, p, 10000)
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Network is a concrete network instance: the digraph plus the metadata the
+// bound machinery needs (family classification and degree parameter).
+type Network struct {
+	Name string
+	G    *graph.Digraph
+	// Family is the paper family when the topology is one of Lemma 3.1's
+	// (BF, WBF→, WBF, DB, K); FamilyKnown is false otherwise.
+	Family      bounds.Family
+	FamilyKnown bool
+	// DegreeParam is the broadcast parameter d: maximum degree minus one
+	// for symmetric networks, maximum out-degree for directed ones.
+	DegreeParam int
+}
+
+// Kinds lists the topology names accepted by NewNetwork.
+func Kinds() []string {
+	ks := make([]string, 0, len(builders))
+	for k := range builders {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+type builder func(a, b int) (*Network, error)
+
+var builders = map[string]builder{
+	"path": func(n, _ int) (*Network, error) {
+		return plain("path", topology.Path(n)), nil
+	},
+	"cycle": func(n, _ int) (*Network, error) {
+		return plain("cycle", topology.Cycle(n)), nil
+	},
+	"complete": func(n, _ int) (*Network, error) {
+		return plain("complete", topology.Complete(n)), nil
+	},
+	"hypercube": func(D, _ int) (*Network, error) {
+		return plain("hypercube", topology.Hypercube(D)), nil
+	},
+	"grid": func(a, b int) (*Network, error) {
+		return plain("grid", topology.Grid(a, b)), nil
+	},
+	"torus": func(a, b int) (*Network, error) {
+		return plain("torus", topology.Torus(a, b)), nil
+	},
+	"tree": func(d, depth int) (*Network, error) {
+		return plain("tree", topology.CompleteKAryTree(d, depth)), nil
+	},
+	"shuffle-exchange": func(D, _ int) (*Network, error) {
+		return plain("shuffle-exchange", topology.ShuffleExchange(D)), nil
+	},
+	"ccc": func(D, _ int) (*Network, error) {
+		return plain("ccc", topology.CCC(D)), nil
+	},
+	"butterfly": func(d, D int) (*Network, error) {
+		bf := topology.NewButterfly(d, D)
+		return classified(fmt.Sprintf("BF(%d,%d)", d, D), bf.G, bounds.BF, d), nil
+	},
+	"wbf": func(d, D int) (*Network, error) {
+		w := topology.NewWrappedButterfly(d, D)
+		return classified(fmt.Sprintf("WBF(%d,%d)", d, D), w.G, bounds.WBF, d), nil
+	},
+	"wbf-digraph": func(d, D int) (*Network, error) {
+		w := topology.NewWrappedButterflyDigraph(d, D)
+		return classified(fmt.Sprintf("WBF->(%d,%d)", d, D), w.G, bounds.WBFDirected, d), nil
+	},
+	"debruijn": func(d, D int) (*Network, error) {
+		db := topology.NewDeBruijn(d, D)
+		return classified(fmt.Sprintf("DB(%d,%d)", d, D), db.G, bounds.DB, d), nil
+	},
+	"debruijn-digraph": func(d, D int) (*Network, error) {
+		db := topology.NewDeBruijnDigraph(d, D)
+		return classified(fmt.Sprintf("DB->(%d,%d)", d, D), db.G, bounds.DB, d), nil
+	},
+	"kautz": func(d, D int) (*Network, error) {
+		k := topology.NewKautz(d, D)
+		return classified(fmt.Sprintf("K(%d,%d)", d, D), k.G, bounds.Kautz, d), nil
+	},
+	"kautz-digraph": func(d, D int) (*Network, error) {
+		k := topology.NewKautzDigraph(d, D)
+		return classified(fmt.Sprintf("K->(%d,%d)", d, D), k.G, bounds.Kautz, d), nil
+	},
+}
+
+func plain(name string, g *graph.Digraph) *Network {
+	return &Network{Name: name, G: g, DegreeParam: degreeParam(g)}
+}
+
+func classified(name string, g *graph.Digraph, f bounds.Family, d int) *Network {
+	return &Network{Name: name, G: g, Family: f, FamilyKnown: true, DegreeParam: d}
+}
+
+func degreeParam(g *graph.Digraph) int {
+	if g.IsSymmetric() {
+		d := g.MaxOutDeg() - 1
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	return g.MaxOutDeg()
+}
+
+// NewNetwork builds a named network. The meaning of the two integer
+// parameters depends on the kind: (n, -) for path/cycle/complete, (D, -)
+// for hypercube/shuffle-exchange/ccc, (a, b) for grid/torus, (d, depth) for
+// tree, and (d, D) for the paper families. A catch-all error reports the
+// accepted kinds.
+func NewNetwork(kind string, a, b int) (net *Network, err error) {
+	build, ok := builders[strings.ToLower(kind)]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown network kind %q (accepted: %s)", kind, strings.Join(Kinds(), ", "))
+	}
+	defer func() {
+		// Topology generators panic on bad parameters; surface those as
+		// errors at the API boundary.
+		if r := recover(); r != nil {
+			net, err = nil, fmt.Errorf("core: building %q: %v", kind, r)
+		}
+	}()
+	return build(a, b)
+}
+
+// LogN returns log₂(n) for the network, the unit in which the paper's
+// bounds are expressed.
+func (net *Network) LogN() float64 { return math.Log2(float64(net.G.N())) }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gossip"
+	"repro/internal/protocols"
+)
+
+// TestScaleDeBruijn runs the full pipeline on DB(2,9) (512 vertices,
+// ~1500 arcs): periodic protocol, simulation to completion, delay digraph
+// with tens of thousands of activations, sparse norm at the root. Skipped
+// under -short.
+func TestScaleDeBruijn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	net, err := NewNetwork("debruijn", 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := protocols.PeriodicHalfDuplex(net.G)
+	rep, err := Analyze(net, p, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TheoremRespected || rep.Measured < rep.LowerBound.Rounds {
+		t.Errorf("scale violation: %+v", rep)
+	}
+	if rep.NormAtRoot > 1+1e-8 {
+		t.Errorf("norm at root %g > 1 at scale", rep.NormAtRoot)
+	}
+	// The measured time must scale like the coefficient predicts: within
+	// [bound, 20·log n] for this expander-like topology.
+	if f := float64(rep.Measured) / net.LogN(); f > 20 {
+		t.Errorf("measured/log n = %g, out of the logarithmic regime", f)
+	}
+	t.Logf("DB(2,9): n=%d measured=%d bound=%d delayVerts=%d delayArcs=%d norm=%.4f",
+		net.G.N(), rep.Measured, rep.LowerBound.Rounds, rep.DelayVerts, rep.DelayArcs, rep.NormAtRoot)
+}
+
+// TestScaleWrappedButterflyFullDuplex exercises the full-duplex pipeline on
+// WBF(2,7) (896 vertices).
+func TestScaleWrappedButterflyFullDuplex(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	net, err := NewNetwork("wbf", 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := protocols.PeriodicFullDuplex(net.G)
+	rep, err := Analyze(net, p, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TheoremRespected || rep.Measured < rep.LowerBound.Rounds {
+		t.Errorf("scale violation: %+v", rep)
+	}
+	t.Logf("WBF(2,7): n=%d measured=%d bound=%d", net.G.N(), rep.Measured, rep.LowerBound.Rounds)
+}
+
+// TestScaleGossipThroughput: the bitset simulator handles a 4096-vertex
+// de Bruijn gossip within the test budget.
+func TestScaleGossipThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	net, err := NewNetwork("debruijn", 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := protocols.PeriodicHalfDuplex(net.G)
+	res, err := gossip.Simulate(net.G, p, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 12 {
+		t.Errorf("DB(2,12) gossip in %d rounds beats the information bound", res.Rounds)
+	}
+	t.Logf("DB(2,12): n=%d gossip in %d rounds", net.G.N(), res.Rounds)
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gossip"
+	"repro/internal/protocols"
+)
+
+// TestIntegrationSweep runs the full analysis pipeline over a matrix of
+// (topology × protocol) combinations and asserts, for every one of them:
+// the protocol validates, gossip completes, the measured time dominates the
+// certified bound, Theorem 4.1 is respected, and the delay-matrix norm at
+// the root stays ≤ 1 (Lemma 4.3 / 6.1).
+func TestIntegrationSweep(t *testing.T) {
+	type protoBuilder struct {
+		name  string
+		modes []gossip.Mode // which graph kinds it applies to (symmetric only unless directed)
+		build func(net *Network) (*gossip.Protocol, error)
+	}
+	periodicHalf := protoBuilder{
+		name: "periodic-half",
+		build: func(net *Network) (*gossip.Protocol, error) {
+			return protocols.PeriodicHalfDuplex(net.G), nil
+		},
+	}
+	periodicFull := protoBuilder{
+		name: "periodic-full",
+		build: func(net *Network) (*gossip.Protocol, error) {
+			return protocols.PeriodicFullDuplex(net.G), nil
+		},
+	}
+	interleaved := protoBuilder{
+		name: "interleaved",
+		build: func(net *Network) (*gossip.Protocol, error) {
+			return protocols.PeriodicInterleavedHalfDuplex(net.G), nil
+		},
+	}
+	greedyHalf := protoBuilder{
+		name: "greedy-half",
+		build: func(net *Network) (*gossip.Protocol, error) {
+			return protocols.GreedyGossip(net.G, gossip.HalfDuplex, 100000)
+		},
+	}
+	greedyFull := protoBuilder{
+		name: "greedy-full",
+		build: func(net *Network) (*gossip.Protocol, error) {
+			return protocols.GreedyGossipFullDuplex(net.G, 100000)
+		},
+	}
+	roundRobin := protoBuilder{
+		name: "round-robin",
+		build: func(net *Network) (*gossip.Protocol, error) {
+			return protocols.RoundRobinDirected(net.G), nil
+		},
+	}
+
+	symmetric := []protoBuilder{periodicHalf, periodicFull, interleaved, greedyHalf, greedyFull}
+	directed := []protoBuilder{roundRobin}
+
+	nets := []struct {
+		kind     string
+		a, b     int
+		builders []protoBuilder
+	}{
+		{"path", 9, 0, symmetric},
+		{"cycle", 10, 0, symmetric},
+		{"complete", 8, 0, symmetric},
+		{"hypercube", 4, 0, symmetric},
+		{"grid", 3, 4, symmetric},
+		{"torus", 3, 4, symmetric},
+		{"tree", 2, 3, symmetric},
+		{"shuffle-exchange", 4, 0, symmetric},
+		{"ccc", 3, 0, symmetric},
+		{"butterfly", 2, 3, symmetric},
+		{"wbf", 2, 3, symmetric},
+		{"debruijn", 2, 4, symmetric},
+		{"kautz", 2, 3, symmetric},
+		{"wbf-digraph", 2, 3, directed},
+		{"debruijn-digraph", 2, 4, directed},
+		{"kautz-digraph", 2, 3, directed},
+	}
+
+	for _, nc := range nets {
+		for _, pb := range nc.builders {
+			name := fmt.Sprintf("%s/%s", nc.kind, pb.name)
+			t.Run(name, func(t *testing.T) {
+				net, err := NewNetwork(nc.kind, nc.a, nc.b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := pb.build(net)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := Analyze(net, p, 500000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Measured <= 0 {
+					t.Fatal("no rounds measured")
+				}
+				if rep.Measured < rep.LowerBound.Rounds {
+					t.Errorf("measured %d < certified bound %d — the paper is falsified or the harness is wrong",
+						rep.Measured, rep.LowerBound.Rounds)
+				}
+				if !rep.TheoremRespected {
+					t.Error("Theorem 4.1 inequality violated")
+				}
+				if rep.NormAtRoot > rep.NormCap+1e-8 {
+					t.Errorf("‖M(λ₀)‖ = %g exceeds the Lemma 4.3/6.1 cap", rep.NormAtRoot)
+				}
+			})
+		}
+	}
+}
+
+// TestBroadcastSweep checks the broadcast pipeline across topologies: the
+// measured BFS-schedule broadcast dominates the certified bound and the
+// eccentricity floor.
+func TestBroadcastSweep(t *testing.T) {
+	for _, nc := range []struct {
+		kind string
+		a, b int
+	}{
+		{"path", 17, 0}, {"cycle", 12, 0}, {"hypercube", 5, 0},
+		{"butterfly", 2, 3}, {"wbf", 2, 3}, {"debruijn", 2, 5},
+		{"kautz", 2, 4}, {"tree", 3, 2}, {"grid", 4, 5},
+	} {
+		t.Run(nc.kind, func(t *testing.T) {
+			net, err := NewNetwork(nc.kind, nc.a, nc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := AnalyzeBroadcast(net, 0, 100000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Measured < rep.CBound {
+				t.Errorf("broadcast %d rounds below certified bound %d", rep.Measured, rep.CBound)
+			}
+			if rep.Measured < net.G.Eccentricity(0) {
+				t.Errorf("broadcast beat the eccentricity — impossible")
+			}
+		})
+	}
+}
+
+// TestBroadcastHypercubeTight: BFS broadcast on Q_D from any corner is
+// within a factor 2 of the D-round optimum, and the certified bound is D.
+func TestBroadcastHypercubeTight(t *testing.T) {
+	net, _ := NewNetwork("hypercube", 5, 0)
+	rep, err := AnalyzeBroadcast(net, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CBound != 5 {
+		t.Errorf("certified bound = %d, want 5", rep.CBound)
+	}
+	if rep.Measured > 10 {
+		t.Errorf("BFS broadcast on Q5 took %d rounds", rep.Measured)
+	}
+}

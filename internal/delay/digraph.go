@@ -1,0 +1,156 @@
+// Package delay implements the paper's central novel object: the delay
+// digraph of a gossiping protocol (Definition 3.3), its delay matrix M(λ)
+// (Definition 3.4), and the per-vertex local matrices Mx(λ) with their
+// rank-reduced companions Nx(λ) and Ox(λ) (Section 4, Figs. 1–3) whose
+// spectral analysis yields the norm bound of Lemma 4.3. The full-duplex
+// local matrix of Section 6 (Fig. 7) is also provided.
+package delay
+
+import (
+	"fmt"
+
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+// Activation is a vertex (x, y, i) of the delay digraph: arc (x,y) of the
+// network is active at round i (0-based here; the paper counts from 1).
+type Activation struct {
+	From, To int
+	Round    int
+}
+
+// DelayArc is a weighted arc of the delay digraph between activation indices
+// A and B with weight W = round(B) − round(A).
+type DelayArc struct {
+	A, B int
+	W    int
+}
+
+// Digraph is the delay digraph DG of a protocol executed for T rounds
+// (Definition 3.3): vertices are all activations, and there is an arc from
+// (x,y,i) to (y,z,j) whenever 1 ≤ j−i < Horizon. For an s-systolic protocol
+// Horizon = s (later repetitions of the same activated arc are represented
+// by the periodicity); for a finite non-systolic protocol Horizon = T, which
+// is the s→∞ reading used by the corollaries.
+type Digraph struct {
+	Verts   []Activation
+	Arcs    []DelayArc
+	Horizon int
+	T       int
+	N       int // vertices of the underlying network
+}
+
+// Build executes protocol p for t rounds on g and constructs the delay
+// digraph. It validates the protocol first.
+func Build(g *graph.Digraph, p *gossip.Protocol, t int) (*Digraph, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	if t <= 0 {
+		return nil, fmt.Errorf("delay: nonpositive round count %d", t)
+	}
+	horizon := t
+	if p.Systolic() {
+		horizon = p.Period
+	}
+	dg := &Digraph{Horizon: horizon, T: t, N: g.N()}
+	// byHead[v] lists activation indices whose arc enters v, in round order.
+	byHead := make([][]int, g.N())
+	for r := 0; r < t; r++ {
+		for _, a := range p.Round(r) {
+			idx := len(dg.Verts)
+			dg.Verts = append(dg.Verts, Activation{From: a.From, To: a.To, Round: r})
+			byHead[a.To] = append(byHead[a.To], idx)
+		}
+	}
+	// byTail[v] lists activation indices whose arc leaves v, in round order.
+	byTail := make([][]int, g.N())
+	for idx, act := range dg.Verts {
+		byTail[act.From] = append(byTail[act.From], idx)
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, aIdx := range byHead[v] {
+			ai := dg.Verts[aIdx].Round
+			for _, bIdx := range byTail[v] {
+				d := dg.Verts[bIdx].Round - ai
+				if d >= 1 && d < horizon {
+					dg.Arcs = append(dg.Arcs, DelayArc{A: aIdx, B: bIdx, W: d})
+				}
+			}
+		}
+	}
+	return dg, nil
+}
+
+// Matrix returns the delay matrix M(λ) of Definition 3.4 as a sparse CSR
+// matrix: M[(x,y,i)][(y,z,j)] = λ^(j−i) for every delay arc.
+func (dg *Digraph) Matrix(lambda float64) *matrix.CSR {
+	if lambda <= 0 || lambda >= 1 {
+		panic(fmt.Sprintf("delay: Matrix needs 0 < λ < 1, got %g", lambda))
+	}
+	ts := make([]matrix.Triplet, 0, len(dg.Arcs))
+	for _, a := range dg.Arcs {
+		ts = append(ts, matrix.Triplet{Row: a.A, Col: a.B, Val: powf(lambda, a.W)})
+	}
+	return matrix.NewCSR(len(dg.Verts), len(dg.Verts), ts)
+}
+
+// Norm returns ‖M(λ)‖₂ computed from the sparse delay matrix. By Lemma 4.3
+// this never exceeds λ·√p⌈s/2⌉(λ)·√p⌊s/2⌋(λ) for an s-systolic half-duplex
+// or directed protocol.
+func (dg *Digraph) Norm(lambda float64) float64 {
+	return dg.Matrix(lambda).Norm2()
+}
+
+// LocalBlocks partitions the delay matrix by network vertex (the row/column
+// permutation argument of Section 4): block x has one row per activation
+// entering x and one column per activation leaving x, and the full delay
+// matrix is, up to permutation, block diagonal in these blocks. By norm
+// property 8, ‖M(λ)‖ = max over x of ‖block_x(λ)‖.
+func (dg *Digraph) LocalBlocks(lambda float64) []*matrix.Dense {
+	if lambda <= 0 || lambda >= 1 {
+		panic(fmt.Sprintf("delay: LocalBlocks needs 0 < λ < 1, got %g", lambda))
+	}
+	inAt := make([][]int, dg.N)
+	outAt := make([][]int, dg.N)
+	for idx, act := range dg.Verts {
+		inAt[act.To] = append(inAt[act.To], idx)
+		outAt[act.From] = append(outAt[act.From], idx)
+	}
+	rowPos := make(map[int]int, len(dg.Verts))
+	colPos := make(map[int]int, len(dg.Verts))
+	blocks := make([]*matrix.Dense, dg.N)
+	for x := 0; x < dg.N; x++ {
+		for pos, idx := range inAt[x] {
+			rowPos[idx] = pos
+		}
+		for pos, idx := range outAt[x] {
+			colPos[idx] = pos
+		}
+		blocks[x] = matrix.NewDense(len(inAt[x]), len(outAt[x]))
+	}
+	for _, a := range dg.Arcs {
+		// Arc (x,y,i) -> (y,z,j): row in block y (head of A), column in
+		// block y (tail of B). Both belong to vertex y's block.
+		y := dg.Verts[a.A].To
+		blocks[y].Set(rowPos[a.A], colPos[a.B], powf(lambda, a.W))
+	}
+	return blocks
+}
+
+// MaxLocalNorm returns max over network vertices of the local block norm,
+// which equals ‖M(λ)‖ by norm property 8; tests cross-check it against the
+// sparse global computation.
+func (dg *Digraph) MaxLocalNorm(lambda float64) float64 {
+	return matrix.BlockDiagNorm2(dg.LocalBlocks(lambda))
+}
+
+func powf(l float64, k int) float64 {
+	v := 1.0
+	for i := 0; i < k; i++ {
+		v *= l
+	}
+	return v
+}

@@ -1,0 +1,95 @@
+package delay
+
+import (
+	"fmt"
+
+	"repro/internal/gossip"
+)
+
+// ExtractLocal derives the local protocol ⟨(l_j),(r_j)⟩ of Section 4 seen by
+// vertex x under a systolic half-duplex/directed protocol: within one
+// period, the circular sequence of left activations (arcs entering x) and
+// right activations (arcs leaving x), rotated to start at a left block.
+// Idle rounds are compressed away, matching the paper's deletion argument
+// (removing rows/columns cannot increase the local norm, so the Lemma 4.3
+// bound for the full period still applies).
+//
+// It returns an error for non-systolic or full-duplex protocols, for
+// vertices idle throughout the period, and for vertices with only one kind
+// of activation (their local matrix is empty — no delays ever occur there).
+func ExtractLocal(p *gossip.Protocol, x int) (*LocalProtocol, error) {
+	if !p.Systolic() {
+		return nil, fmt.Errorf("delay: ExtractLocal needs a systolic protocol")
+	}
+	if p.Mode == gossip.FullDuplex {
+		return nil, fmt.Errorf("delay: ExtractLocal models the half-duplex/directed case; use FullDuplexMx")
+	}
+	// Classify each round of the period: +1 right, -1 left, 0 idle.
+	kinds := make([]int, 0, p.Period)
+	for r := 0; r < p.Period; r++ {
+		k := 0
+		for _, a := range p.Rounds[r] {
+			if a.To == x {
+				k = -1
+				break
+			}
+			if a.From == x {
+				k = +1
+				break
+			}
+		}
+		kinds = append(kinds, k)
+	}
+	// Compress idles.
+	var seq []int
+	for _, k := range kinds {
+		if k != 0 {
+			seq = append(seq, k)
+		}
+	}
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("delay: vertex %d is idle throughout the period", x)
+	}
+	hasL, hasR := false, false
+	for _, k := range seq {
+		if k < 0 {
+			hasL = true
+		} else {
+			hasR = true
+		}
+	}
+	if !hasL || !hasR {
+		return nil, fmt.Errorf("delay: vertex %d has only one activation kind; local matrix is empty", x)
+	}
+	// Rotate so the cyclic sequence starts at the beginning of a left block:
+	// a left activation whose cyclic predecessor is a right activation.
+	n := len(seq)
+	start := -1
+	for i := 0; i < n; i++ {
+		prev := seq[(i-1+n)%n]
+		if seq[i] < 0 && prev > 0 {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil, fmt.Errorf("delay: no block boundary found (internal error)")
+	}
+	var L, R []int
+	i := 0
+	for i < n {
+		l := 0
+		for i < n && seq[(start+i)%n] < 0 {
+			l++
+			i++
+		}
+		r := 0
+		for i < n && seq[(start+i)%n] > 0 {
+			r++
+			i++
+		}
+		L = append(L, l)
+		R = append(R, r)
+	}
+	return NewLocalProtocol(L, R)
+}

@@ -1,0 +1,122 @@
+package delay
+
+import (
+	"testing"
+
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/protocols"
+	"repro/internal/topology"
+)
+
+// TestExtractLocalPathZigZag: every interior vertex of the 4-systolic
+// zig-zag path protocol sees the balanced local protocol ([2],[2]) — the
+// extremal schedule for which Lemma 4.3 is tight.
+func TestExtractLocalPathZigZag(t *testing.T) {
+	p := protocols.PathZigZag(8)
+	for x := 1; x <= 6; x++ {
+		lp, err := ExtractLocal(p, x)
+		if err != nil {
+			t.Fatalf("vertex %d: %v", x, err)
+		}
+		if lp.K() != 1 || lp.L[0] != 2 || lp.R[0] != 2 {
+			t.Errorf("vertex %d: extracted L=%v R=%v, want ([2],[2])", x, lp.L, lp.R)
+		}
+	}
+}
+
+// TestExtractLocalEndpoints: the path endpoints alternate single left and
+// right activations: ([1],[1]) after idle compression.
+func TestExtractLocalEndpoints(t *testing.T) {
+	p := protocols.PathZigZag(8)
+	for _, x := range []int{0, 7} {
+		lp, err := ExtractLocal(p, x)
+		if err != nil {
+			t.Fatalf("vertex %d: %v", x, err)
+		}
+		if lp.SumL() != 1 || lp.SumR() != 1 {
+			t.Errorf("vertex %d: L=%v R=%v", x, lp.L, lp.R)
+		}
+	}
+}
+
+// TestExtractLocalNormBound: for every vertex of several systolic
+// protocols, the extracted local matrix norm respects the Lemma 4.3 bound
+// of the *full* period (idle compression only shrinks the norm).
+func TestExtractLocalNormBound(t *testing.T) {
+	g := topology.Cycle(10)
+	p := protocols.PeriodicInterleavedHalfDuplex(g)
+	lambda := 0.618
+	for x := 0; x < g.N(); x++ {
+		lp, err := ExtractLocal(p, x)
+		if err != nil {
+			continue // idle or single-kind vertices have no local matrix
+		}
+		norm := matrix.Norm2(lp.Mx(lambda, lp.K()+3))
+		// The extracted period lp.S() ≤ p.Period; both caps must hold.
+		if norm > lp.NormBound(lambda)+1e-9 {
+			t.Errorf("vertex %d: norm %g above own-period bound %g", x, norm, lp.NormBound(lambda))
+		}
+	}
+}
+
+func TestExtractLocalErrors(t *testing.T) {
+	// Non-systolic protocol.
+	fin := gossip.NewFinite([][]graph.Arc{{{From: 0, To: 1}}}, gossip.HalfDuplex)
+	if _, err := ExtractLocal(fin, 0); err == nil {
+		t.Error("non-systolic accepted")
+	}
+	// Full-duplex protocol.
+	g := topology.Cycle(6)
+	fd := protocols.PeriodicFullDuplex(g)
+	if _, err := ExtractLocal(fd, 0); err == nil {
+		t.Error("full-duplex accepted")
+	}
+	// Idle vertex: a protocol that never touches vertex 2.
+	idle := gossip.NewSystolic([][]graph.Arc{
+		{{From: 0, To: 1}}, {{From: 1, To: 0}},
+	}, gossip.HalfDuplex)
+	if _, err := ExtractLocal(idle, 2); err == nil {
+		t.Error("idle vertex accepted")
+	}
+	// Single-kind vertex: vertex 1 only ever receives.
+	oneWay := gossip.NewSystolic([][]graph.Arc{
+		{{From: 0, To: 1}}, {{From: 2, To: 1}},
+	}, gossip.HalfDuplex)
+	if _, err := ExtractLocal(oneWay, 1); err == nil {
+		t.Error("receive-only vertex accepted")
+	}
+}
+
+// TestExtractLocalRoundTripStructure: extraction on a hand-built protocol
+// with a known (l,r) pattern at the hub vertex.
+func TestExtractLocalRoundTripStructure(t *testing.T) {
+	// Vertex 0 of a star: rounds L L R L R R (reading the period) — cyclic
+	// rotation to a left-block start yields L=[2,1], R=[1,2].
+	rounds := [][]graph.Arc{
+		{{From: 1, To: 0}}, // L
+		{{From: 2, To: 0}}, // L
+		{{From: 0, To: 3}}, // R
+		{{From: 4, To: 0}}, // L
+		{{From: 0, To: 1}}, // R
+		{{From: 0, To: 2}}, // R
+	}
+	p := gossip.NewSystolic(rounds, gossip.HalfDuplex)
+	lp, err := ExtractLocal(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.K() != 2 {
+		t.Fatalf("k = %d, want 2 (L=%v R=%v)", lp.K(), lp.L, lp.R)
+	}
+	if lp.SumL() != 3 || lp.SumR() != 3 || lp.S() != 6 {
+		t.Errorf("sums wrong: L=%v R=%v", lp.L, lp.R)
+	}
+	// The rotation starts at the left block following a right activation:
+	// round 0 is preceded (cyclically) by round 5 (R), so blocks are
+	// L=[2,1], R=[1,2].
+	if lp.L[0] != 2 || lp.L[1] != 1 || lp.R[0] != 1 || lp.R[1] != 2 {
+		t.Errorf("blocks L=%v R=%v, want [2 1] / [1 2]", lp.L, lp.R)
+	}
+}

@@ -1,0 +1,36 @@
+package delay
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/matrix"
+)
+
+// FullDuplexMx builds the local delay matrix of the full-duplex case
+// (Section 6, Fig. 7) for a protocol of period s observed over t rounds at
+// one vertex: in every round an incoming arc is active together with its
+// opposite, so each left activation (row j, ordered by round) relates to the
+// s−1 right activations of the following rounds with entries λ, λ², …,
+// λ^(s−1) placed at columns j … j+s−2 (truncated at the boundary).
+func FullDuplexMx(s, t int, lambda float64) *matrix.Dense {
+	if s < 2 || t < 1 {
+		panic(fmt.Sprintf("delay: FullDuplexMx needs s ≥ 2, t ≥ 1, got s=%d t=%d", s, t))
+	}
+	m := matrix.NewDense(t, t)
+	for j := 0; j < t; j++ {
+		w := lambda
+		for c := j; c <= j+s-2 && c < t; c++ {
+			m.Set(j, c, w)
+			w *= lambda
+		}
+	}
+	return m
+}
+
+// Lemma61Check verifies ‖Mx(λ)‖ ≤ λ + λ² + … + λ^(s−1) (Lemma 6.1) for the
+// full-duplex local matrix, returning the computed norm and the bound.
+func Lemma61Check(s, t int, lambda float64) (norm, bound float64) {
+	m := FullDuplexMx(s, t, lambda)
+	return matrix.Norm2(m), bounds.WFullDuplex(s, lambda)
+}

@@ -1,0 +1,208 @@
+package delay
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/matrix"
+)
+
+// LocalProtocol describes the s-systolic protocol as seen from one network
+// vertex x (Section 4): within each period, x first has L[0] consecutive
+// left activations (incoming arcs), then R[0] right activations (outgoing
+// arcs), then L[1] left activations, and so on through k blocks, with
+// Σ(L[j]+R[j]) = s. The paper's analysis extends the sequences periodically
+// over h ≥ k block indices.
+type LocalProtocol struct {
+	L, R []int
+}
+
+// NewLocalProtocol validates and returns a local protocol with k = len(L)
+// alternating activation blocks.
+func NewLocalProtocol(L, R []int) (*LocalProtocol, error) {
+	if len(L) == 0 || len(L) != len(R) {
+		return nil, fmt.Errorf("delay: need equally many left and right blocks ≥ 1, got %d and %d", len(L), len(R))
+	}
+	for j := range L {
+		if L[j] < 1 || R[j] < 1 {
+			return nil, fmt.Errorf("delay: block %d has nonpositive length (l=%d, r=%d)", j, L[j], R[j])
+		}
+	}
+	return &LocalProtocol{L: append([]int(nil), L...), R: append([]int(nil), R...)}, nil
+}
+
+// K returns the number of activation blocks per period.
+func (lp *LocalProtocol) K() int { return len(lp.L) }
+
+// S returns the systolic period Σ(L[j] + R[j]).
+func (lp *LocalProtocol) S() int {
+	s := 0
+	for j := range lp.L {
+		s += lp.L[j] + lp.R[j]
+	}
+	return s
+}
+
+// SumL returns l₀ + … + l_{k−1}, and SumR the analogous right sum; the
+// semi-eigenvalues of Lemma 4.2 are λ·p_SumR(λ) and λ·p_SumL(λ).
+func (lp *LocalProtocol) SumL() int {
+	s := 0
+	for _, l := range lp.L {
+		s += l
+	}
+	return s
+}
+
+// SumR returns r₀ + … + r_{k−1}.
+func (lp *LocalProtocol) SumR() int {
+	s := 0
+	for _, r := range lp.R {
+		s += r
+	}
+	return s
+}
+
+// lAt and rAt extend the sequences periodically: lAt(j) = L[j mod k].
+func (lp *LocalProtocol) lAt(j int) int { return lp.L[j%len(lp.L)] }
+func (lp *LocalProtocol) rAt(j int) int { return lp.R[j%len(lp.R)] }
+
+// DelayD returns d_{i,j} = 1 + Σ_{c=i}^{j−1} (r_c + l_{c+1}), the number of
+// rounds between the last activation of left block i and the first
+// activation of right block j (i ≤ j < i+k).
+func (lp *LocalProtocol) DelayD(i, j int) int {
+	k := lp.K()
+	if j < i || j >= i+k {
+		panic(fmt.Sprintf("delay: d_{%d,%d} undefined for k=%d", i, j, k))
+	}
+	d := 1
+	for c := i; c < j; c++ {
+		d += lp.rAt(c) + lp.lAt(c+1)
+	}
+	return d
+}
+
+// geomVec returns ℓ0_m(λ) = (1, λ, λ², …, λ^(m−1))ᵀ.
+func geomVec(m int, lambda float64) matrix.Vector {
+	v := make(matrix.Vector, m)
+	t := 1.0
+	for i := 0; i < m; i++ {
+		v[i] = t
+		t *= lambda
+	}
+	return v
+}
+
+// Mx builds the local delay matrix Mx(λ) over h ≥ k activation blocks
+// exactly as in Fig. 1: rows are left activations ordered by block and
+// within a block by reverse round order; columns are right activations
+// ordered by block and within a block by round order. Block B_{i,j} is
+// λ^{d_{i,j}} · ℓ0_{l_i} · ℓ0_{r_j}ᵀ for i ≤ j < i+k and zero otherwise.
+func (lp *LocalProtocol) Mx(lambda float64, h int) *matrix.Dense {
+	k := lp.K()
+	if h < k {
+		panic(fmt.Sprintf("delay: need h ≥ k, got h=%d k=%d", h, k))
+	}
+	rowOff := make([]int, h+1)
+	colOff := make([]int, h+1)
+	for b := 0; b < h; b++ {
+		rowOff[b+1] = rowOff[b] + lp.lAt(b)
+		colOff[b+1] = colOff[b] + lp.rAt(b)
+	}
+	m := matrix.NewDense(rowOff[h], colOff[h])
+	for i := 0; i < h; i++ {
+		li := geomVec(lp.lAt(i), lambda)
+		for j := i; j < i+k && j < h; j++ {
+			rj := geomVec(lp.rAt(j), lambda)
+			w := powf(lambda, lp.DelayD(i, j))
+			for a := 0; a < len(li); a++ {
+				for b := 0; b < len(rj); b++ {
+					m.Set(rowOff[i]+a, colOff[j]+b, w*li[a]*rj[b])
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Nx builds the h×h reduced matrix of Fig. 3: entry (i,j) is
+// λ^{d_{i,j}}·p_{r_j}(λ) for i ≤ j < i+k and zero otherwise. Nx represents
+// the restriction of the linear mapping of Mx(λ) to the geometric-vector
+// subspaces (Section 4).
+func (lp *LocalProtocol) Nx(lambda float64, h int) *matrix.Dense {
+	k := lp.K()
+	if h < k {
+		panic(fmt.Sprintf("delay: need h ≥ k, got h=%d k=%d", h, k))
+	}
+	m := matrix.NewDense(h, h)
+	for i := 0; i < h; i++ {
+		for j := i; j < i+k && j < h; j++ {
+			m.Set(i, j, powf(lambda, lp.DelayD(i, j))*bounds.P(lp.rAt(j), lambda))
+		}
+	}
+	return m
+}
+
+// Ox builds the transpose-side h×h reduced matrix of Fig. 3: entry (i,j) is
+// λ^{d_{j,i}}·p_{l_j}(λ) for i−k < j ≤ i and zero otherwise.
+func (lp *LocalProtocol) Ox(lambda float64, h int) *matrix.Dense {
+	k := lp.K()
+	if h < k {
+		panic(fmt.Sprintf("delay: need h ≥ k, got h=%d k=%d", h, k))
+	}
+	m := matrix.NewDense(h, h)
+	for i := 0; i < h; i++ {
+		for j := i - k + 1; j <= i; j++ {
+			if j < 0 {
+				continue
+			}
+			m.Set(i, j, powf(lambda, lp.DelayD(j, i))*bounds.P(lp.lAt(j), lambda))
+		}
+	}
+	return m
+}
+
+// SemiEigenvector returns the vector e of Lemma 4.2:
+// e_j = λ^{Σ_{c=0}^{j−1}(r_c − l_{c+1})}, a strictly positive
+// semi-eigenvector of both Nx(λ) and Ox(λ).
+func (lp *LocalProtocol) SemiEigenvector(lambda float64, h int) matrix.Vector {
+	e := make(matrix.Vector, h)
+	exp := 0
+	for j := 0; j < h; j++ {
+		e[j] = powi(lambda, exp)
+		exp += lp.rAt(j) - lp.lAt(j+1)
+	}
+	return e
+}
+
+// powi computes λ^k for possibly negative k.
+func powi(l float64, k int) float64 {
+	if k >= 0 {
+		return powf(l, k)
+	}
+	return 1 / powf(l, -k)
+}
+
+// Lemma42Check verifies the semi-eigenvalue claims of Lemma 4.2 for this
+// local protocol: Nx·e ≤ λ·p_{ΣR}(λ)·e and Ox·e ≤ λ·p_{ΣL}(λ)·e
+// (componentwise, within tol). It returns an error naming the first
+// violated inequality.
+func (lp *LocalProtocol) Lemma42Check(lambda float64, h int, tol float64) error {
+	e := lp.SemiEigenvector(lambda, h)
+	nx := lp.Nx(lambda, h)
+	ox := lp.Ox(lambda, h)
+	en := lambda * bounds.P(lp.SumR(), lambda)
+	eo := lambda * bounds.P(lp.SumL(), lambda)
+	if !matrix.IsSemiEigenvector(nx, e, en, tol) {
+		return fmt.Errorf("delay: Nx semi-eigenvector inequality violated (λ=%g h=%d)", lambda, h)
+	}
+	if !matrix.IsSemiEigenvector(ox, e, eo, tol) {
+		return fmt.Errorf("delay: Ox semi-eigenvector inequality violated (λ=%g h=%d)", lambda, h)
+	}
+	return nil
+}
+
+// NormBound returns the Lemma 4.3 bound λ·√p⌈s/2⌉(λ)·√p⌊s/2⌋(λ) for this
+// local protocol's period.
+func (lp *LocalProtocol) NormBound(lambda float64) float64 {
+	return bounds.WHalfDuplex(lp.S(), lambda)
+}

@@ -1,0 +1,232 @@
+package delay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func mustLocal(t *testing.T, L, R []int) *LocalProtocol {
+	t.Helper()
+	lp, err := NewLocalProtocol(L, R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lp
+}
+
+func TestNewLocalProtocolValidation(t *testing.T) {
+	if _, err := NewLocalProtocol(nil, nil); err == nil {
+		t.Error("empty blocks accepted")
+	}
+	if _, err := NewLocalProtocol([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewLocalProtocol([]int{0}, []int{1}); err == nil {
+		t.Error("zero-length block accepted")
+	}
+}
+
+func TestLocalProtocolSums(t *testing.T) {
+	lp := mustLocal(t, []int{1, 2}, []int{2, 1})
+	if lp.K() != 2 || lp.S() != 6 || lp.SumL() != 3 || lp.SumR() != 3 {
+		t.Errorf("K=%d S=%d SumL=%d SumR=%d", lp.K(), lp.S(), lp.SumL(), lp.SumR())
+	}
+}
+
+func TestDelayDValues(t *testing.T) {
+	// L = [1,2], R = [2,1]: within a period the rounds are
+	// l₀(1), r₀(2), l₁(2), r₁(1).
+	lp := mustLocal(t, []int{1, 2}, []int{2, 1})
+	// d_{i,i} = 1 always (next round).
+	if lp.DelayD(0, 0) != 1 || lp.DelayD(1, 1) != 1 {
+		t.Error("d_{i,i} != 1")
+	}
+	// d_{0,1} = 1 + r₀ + l₁ = 1 + 2 + 2 = 5.
+	if lp.DelayD(0, 1) != 5 {
+		t.Errorf("d_{0,1} = %d, want 5", lp.DelayD(0, 1))
+	}
+	// d_{1,2} = 1 + r₁ + l₂ = 1 + 1 + 1 = 3 (l₂ = l₀).
+	if lp.DelayD(1, 2) != 3 {
+		t.Errorf("d_{1,2} = %d, want 3", lp.DelayD(1, 2))
+	}
+}
+
+// TestMxGoldenStructure verifies the Fig. 1 layout entry by entry on a small
+// k=2 example: blocks B_{i,j} = λ^{d_{i,j}}·ℓ0_{l_i}·ℓ0_{r_j}ᵀ for
+// i ≤ j < i+2, zero elsewhere.
+func TestMxGoldenStructure(t *testing.T) {
+	lambda := 0.7
+	lp := mustLocal(t, []int{2, 1}, []int{1, 2})
+	h := 4
+	m := lp.Mx(lambda, h)
+	// Row blocks: l = 2,1,2,1 (total 6); column blocks: r = 1,2,1,2 (total 6).
+	if m.Rows() != 6 || m.Cols() != 6 {
+		t.Fatalf("Mx is %dx%d, want 6x6", m.Rows(), m.Cols())
+	}
+	// Block B_{0,0}: rows 0-1, col 0, d = 1:
+	// entries λ^{1}·(1,λ)ᵀ·(1) = (λ, λ²).
+	if math.Abs(m.At(0, 0)-lambda) > 1e-12 || math.Abs(m.At(1, 0)-lambda*lambda) > 1e-12 {
+		t.Errorf("B_{0,0} wrong: %g %g", m.At(0, 0), m.At(1, 0))
+	}
+	// Block B_{0,1}: rows 0-1, cols 1-2, d_{0,1} = 1 + r₀ + l₁ = 1+1+1 = 3.
+	want01 := [][]float64{
+		{math.Pow(lambda, 3), math.Pow(lambda, 4)},
+		{math.Pow(lambda, 4), math.Pow(lambda, 5)},
+	}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			if math.Abs(m.At(a, 1+b)-want01[a][b]) > 1e-12 {
+				t.Errorf("B_{0,1}[%d][%d] = %g, want %g", a, b, m.At(a, 1+b), want01[a][b])
+			}
+		}
+	}
+	// B_{0,2} must be zero (j ≥ i+k).
+	if m.At(0, 3) != 0 || m.At(1, 3) != 0 {
+		t.Error("B_{0,2} should be zero")
+	}
+	// Lower-triangular part zero (j < i): B_{1,0} rows 2, col 0.
+	if m.At(2, 0) != 0 {
+		t.Error("B_{1,0} should be zero")
+	}
+}
+
+// TestNxOxGoldenStructure checks the reduced matrices of Fig. 3 on the same
+// example.
+func TestNxOxGoldenStructure(t *testing.T) {
+	lambda := 0.6
+	lp := mustLocal(t, []int{2, 1}, []int{1, 2})
+	h := 4
+	nx := lp.Nx(lambda, h)
+	ox := lp.Ox(lambda, h)
+	// Nx[0][0] = λ^{d_{0,0}}·p_{r₀}(λ) = λ·p₁ = λ.
+	if math.Abs(nx.At(0, 0)-lambda) > 1e-12 {
+		t.Errorf("Nx[0][0] = %g, want %g", nx.At(0, 0), lambda)
+	}
+	// Nx[0][1] = λ^{3}·p₂(λ) = λ³(1+λ²).
+	want := math.Pow(lambda, 3) * (1 + lambda*lambda)
+	if math.Abs(nx.At(0, 1)-want) > 1e-12 {
+		t.Errorf("Nx[0][1] = %g, want %g", nx.At(0, 1), want)
+	}
+	// Nx[0][2] = 0, Nx[1][0] = 0.
+	if nx.At(0, 2) != 0 || nx.At(1, 0) != 0 {
+		t.Error("Nx sparsity wrong")
+	}
+	// Ox[0][0] = λ^{d_{0,0}}·p_{l₀}(λ) = λ·p₂(λ).
+	wantO := lambda * (1 + lambda*lambda)
+	if math.Abs(ox.At(0, 0)-wantO) > 1e-12 {
+		t.Errorf("Ox[0][0] = %g, want %g", ox.At(0, 0), wantO)
+	}
+	// Ox[1][0] = λ^{d_{0,1}}·p_{l₀}(λ); d_{0,1} = 3.
+	wantO10 := math.Pow(lambda, 3) * (1 + lambda*lambda)
+	if math.Abs(ox.At(1, 0)-wantO10) > 1e-12 {
+		t.Errorf("Ox[1][0] = %g, want %g", ox.At(1, 0), wantO10)
+	}
+	// Ox upper part zero beyond diagonal.
+	if ox.At(0, 1) != 0 {
+		t.Error("Ox[0][1] should be zero")
+	}
+}
+
+// randomLocal draws a random local protocol with k blocks and block lengths
+// in 1..3.
+func randomLocal(rng *rand.Rand, k int) *LocalProtocol {
+	L := make([]int, k)
+	R := make([]int, k)
+	for j := 0; j < k; j++ {
+		L[j] = 1 + rng.Intn(3)
+		R[j] = 1 + rng.Intn(3)
+	}
+	lp, err := NewLocalProtocol(L, R)
+	if err != nil {
+		panic(err)
+	}
+	return lp
+}
+
+// TestLemma42Property: the semi-eigenvector inequalities hold for random
+// local protocols across a λ grid.
+func TestLemma42Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		lp := randomLocal(rng, 1+rng.Intn(3))
+		h := lp.K() + rng.Intn(4)
+		for _, lambda := range []float64{0.2, 0.5, 0.618, 0.8, 0.95} {
+			if err := lp.Lemma42Check(lambda, h, 1e-9); err != nil {
+				t.Fatalf("trial %d (L=%v R=%v h=%d): %v", trial, lp.L, lp.R, h, err)
+			}
+		}
+	}
+}
+
+// TestLemma22NormViaReducedMatrices: ‖Mx(λ)‖² = ρ(Ox(λ)·Nx(λ)) (Lemmas 2.1,
+// 2.2 and the construction of Section 4).
+func TestLemma22NormViaReducedMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		lp := randomLocal(rng, 1+rng.Intn(3))
+		h := lp.K() + 1 + rng.Intn(3)
+		lambda := 0.3 + 0.6*rng.Float64()
+		mx := lp.Mx(lambda, h)
+		norm := matrix.Norm2(mx)
+		rho := matrix.SpectralRadius(lp.Ox(lambda, h).Mul(lp.Nx(lambda, h)))
+		if math.Abs(norm*norm-rho) > 1e-7*(1+rho) {
+			t.Fatalf("trial %d (L=%v R=%v h=%d λ=%g): ‖Mx‖²=%g but ρ(OxNx)=%g",
+				trial, lp.L, lp.R, h, lambda, norm*norm, rho)
+		}
+	}
+}
+
+// TestLemma43NormBound: ‖Mx(λ)‖ ≤ λ·√p⌈s/2⌉·√p⌊s/2⌋ for random local
+// protocols — the central inequality of the paper.
+func TestLemma43NormBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 80; trial++ {
+		lp := randomLocal(rng, 1+rng.Intn(4))
+		h := lp.K() + rng.Intn(5)
+		for _, lambda := range []float64{0.25, 0.5, 0.618, 0.75, 0.9} {
+			norm := matrix.Norm2(lp.Mx(lambda, h))
+			bound := lp.NormBound(lambda)
+			if norm > bound+1e-9 {
+				t.Fatalf("trial %d (L=%v R=%v h=%d λ=%g): ‖Mx‖=%g > bound %g",
+					trial, lp.L, lp.R, h, lambda, norm, bound)
+			}
+		}
+	}
+}
+
+// TestLemma43TightForBalanced: for the balanced single-block protocol
+// l₀ = ⌈s/2⌉, r₀ = ⌊s/2⌋ the bound becomes tight as h grows (the extremal
+// local schedule).
+func TestLemma43TightForBalanced(t *testing.T) {
+	lambda := 0.618
+	lp := mustLocal(t, []int{2}, []int{2})
+	bound := lp.NormBound(lambda)
+	norm := matrix.Norm2(lp.Mx(lambda, 40))
+	if bound-norm > 0.02*bound {
+		t.Errorf("balanced bound not near-tight: ‖Mx‖=%g vs bound %g", norm, bound)
+	}
+}
+
+func TestSemiEigenvectorPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 20; trial++ {
+		lp := randomLocal(rng, 1+rng.Intn(3))
+		e := lp.SemiEigenvector(0.7, lp.K()+2)
+		if !e.IsPositive() {
+			t.Fatalf("semi-eigenvector not strictly positive: %v", e)
+		}
+	}
+}
+
+func TestMxPanicsOnSmallH(t *testing.T) {
+	lp := mustLocal(t, []int{1, 1}, []int{1, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for h < k")
+		}
+	}()
+	lp.Mx(0.5, 1)
+}

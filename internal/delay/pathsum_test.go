@@ -1,0 +1,171 @@
+package delay
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/protocols"
+	"repro/internal/topology"
+)
+
+// bruteForcePathSum enumerates all dipaths with exactly k arcs from
+// activation a to activation b in the delay digraph and sums λ^(total
+// weight) — the quantity the paper states equals (M(λ)^k)_{a,b}
+// (Definition 3.4, "the key property of the matrix M(λ)").
+func bruteForcePathSum(dg *Digraph, lambda float64, a, b, k int) float64 {
+	adj := make([][]DelayArc, len(dg.Verts))
+	for _, arc := range dg.Arcs {
+		adj[arc.A] = append(adj[arc.A], arc)
+	}
+	var rec func(v, steps, weight int) float64
+	rec = func(v, steps, weight int) float64 {
+		if steps == k {
+			if v == b {
+				return math.Pow(lambda, float64(weight))
+			}
+			return 0
+		}
+		var s float64
+		for _, arc := range adj[v] {
+			s += rec(arc.B, steps+1, weight+arc.W)
+		}
+		return s
+	}
+	return rec(a, 0, 0)
+}
+
+// matrixPower returns M(λ)^k as a dense matrix (small instances only).
+func matrixPower(dg *Digraph, lambda float64, k int) *matrix.Dense {
+	m := dg.Matrix(lambda).Dense()
+	out := matrix.Identity(m.Rows())
+	for i := 0; i < k; i++ {
+		out = out.Mul(m)
+	}
+	return out
+}
+
+// TestDelayMatrixPathSumProperty verifies (M(λ)^k)_{a,b} = Σ_paths λ^length
+// exactly, on a real protocol's delay digraph.
+func TestDelayMatrixPathSumProperty(t *testing.T) {
+	g := topology.Path(4)
+	p := protocols.PathZigZag(4)
+	dg, err := Build(g, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := 0.6
+	for _, k := range []int{1, 2, 3} {
+		mk := matrixPower(dg, lambda, k)
+		for a := 0; a < len(dg.Verts); a++ {
+			for b := 0; b < len(dg.Verts); b++ {
+				want := bruteForcePathSum(dg, lambda, a, b, k)
+				got := mk.At(a, b)
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("(M^%d)[%d][%d] = %g, brute force %g", k, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDelayPathImpliesGeometricSum: if two activations are at distance ≤ t
+// in the delay digraph with total weight ≤ l, then Σ_{k≤t} (M^k)_{a,b} ≥ λ^l
+// — the inequality Theorem 4.1's proof builds on.
+func TestDelayPathImpliesGeometricSum(t *testing.T) {
+	g := topology.Cycle(6)
+	p := protocols.PeriodicInterleavedHalfDuplex(g)
+	tRounds := 2 * p.Period
+	dg, err := Build(g, p, tRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := 0.55
+	// Distances (hop count + min weight) by BFS over the delay digraph.
+	adj := make([][]DelayArc, len(dg.Verts))
+	for _, arc := range dg.Arcs {
+		adj[arc.A] = append(adj[arc.A], arc)
+	}
+	// Accumulate the geometric sums by dense powers.
+	n := len(dg.Verts)
+	acc := matrix.NewDense(n, n)
+	pow := matrix.Identity(n)
+	m := dg.Matrix(lambda).Dense()
+	const maxHops = 6
+	for k := 1; k <= maxHops; k++ {
+		pow = pow.Mul(m)
+		acc = acc.Add(pow)
+	}
+	// For each activation, explore up to maxHops hops.
+	for a := 0; a < n; a++ {
+		type st struct{ v, hops, w int }
+		stack := []st{{a, 0, 0}}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur.hops > 0 {
+				if got := acc.At(a, cur.v); got < math.Pow(lambda, float64(cur.w))-1e-12 {
+					t.Fatalf("sum (M^k)[%d][%d] = %g below λ^%d = %g",
+						a, cur.v, got, cur.w, math.Pow(lambda, float64(cur.w)))
+				}
+			}
+			if cur.hops == maxHops {
+				continue
+			}
+			for _, arc := range adj[cur.v] {
+				stack = append(stack, st{arc.B, cur.hops + 1, cur.w + arc.W})
+			}
+		}
+	}
+}
+
+// TestDelayNormMonotoneInLambda: ‖M(λ)‖ increases with λ (entrywise
+// monotonicity + norm property 4).
+func TestDelayNormMonotoneInLambda(t *testing.T) {
+	db := topology.NewDeBruijn(2, 3)
+	p := protocols.PeriodicHalfDuplex(db.G)
+	dg, err := Build(db.G, p, 2*p.Period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, lambda := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
+		cur := dg.Norm(lambda)
+		if cur <= prev {
+			t.Fatalf("norm not increasing at λ=%g: %g ≤ %g", lambda, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestDelayMatrixGoldenTinyProtocol pins the delay matrix entries of a
+// two-round hand protocol: arcs (0,1)@round0 and (1,2)@round1 give a single
+// delay arc of weight 1, so M(λ) has exactly one entry λ.
+func TestDelayMatrixGoldenTinyProtocol(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	p := gossip.NewSystolic([][]graph.Arc{
+		{{From: 0, To: 1}},
+		{{From: 1, To: 2}},
+	}, gossip.HalfDuplex)
+	dg, err := Build(g, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dg.Verts) != 2 {
+		t.Fatalf("verts = %d, want 2", len(dg.Verts))
+	}
+	if len(dg.Arcs) != 1 || dg.Arcs[0].W != 1 {
+		t.Fatalf("arcs = %v, want one weight-1 arc", dg.Arcs)
+	}
+	m := dg.Matrix(0.5)
+	if m.NNZ() != 1 || m.At(0, 1) != 0.5 {
+		t.Errorf("M(0.5) wrong: nnz=%d entry=%g", m.NNZ(), m.At(0, 1))
+	}
+	if math.Abs(dg.Norm(0.5)-0.5) > 1e-10 {
+		t.Errorf("‖M‖ = %g, want 0.5", dg.Norm(0.5))
+	}
+}

@@ -1,0 +1,79 @@
+package delay
+
+import (
+	"testing"
+
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/protocols"
+	"repro/internal/topology"
+)
+
+// unroll expands t rounds of a systolic protocol into a finite one.
+func unroll(p *gossip.Protocol, t int) *gossip.Protocol {
+	rounds := make([][]graph.Arc, t)
+	for r := 0; r < t; r++ {
+		rounds[r] = append([]graph.Arc(nil), p.Round(r)...)
+	}
+	return gossip.NewFinite(rounds, p.Mode)
+}
+
+// TestNormStableAcrossPeriods: the delay matrix norm of a systolic protocol
+// is non-decreasing in the number of executed periods (more activations ⇒
+// a larger matrix containing the smaller as a sub-block) and stays under the
+// Lemma 4.3 cap — i.e. the cap is uniform in protocol length, which is what
+// makes Theorem 4.1 applicable at any t.
+func TestNormStableAcrossPeriods(t *testing.T) {
+	g := topology.Cycle(8)
+	p := protocols.PeriodicInterleavedHalfDuplex(g)
+	lambda := 0.618
+	prev := 0.0
+	for periods := 1; periods <= 4; periods++ {
+		dg, err := Build(g, p, periods*p.Period)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := dg.Norm(lambda)
+		if norm < prev-1e-9 {
+			t.Fatalf("norm decreased with more periods: %g -> %g", prev, norm)
+		}
+		cap := 0.0
+		if lp, err := NewLocalProtocol([]int{p.Period / 2}, []int{p.Period - p.Period/2}); err == nil {
+			cap = lp.NormBound(lambda)
+		}
+		if cap > 0 && norm > cap+1e-9 {
+			t.Fatalf("norm %g exceeded the uniform cap %g at %d periods", norm, cap, periods)
+		}
+		prev = norm
+	}
+}
+
+// TestHorizonFiniteVsSystolic: the same round sequence analyzed as finite
+// (horizon = t) has delay arcs the systolic build (horizon = s) omits, so
+// its norm is at least as large.
+func TestHorizonFiniteVsSystolic(t *testing.T) {
+	g := topology.Path(5)
+	sys := protocols.PathZigZag(5)
+	tRounds := 2 * sys.Period
+	dgSys, err := Build(g, sys, tRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unroll the same rounds into a finite protocol.
+	fin := unroll(sys, tRounds)
+	dgFin, err := Build(g, fin, tRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dgFin.Verts) != len(dgSys.Verts) {
+		t.Fatalf("vertex counts differ: %d vs %d", len(dgFin.Verts), len(dgSys.Verts))
+	}
+	if len(dgFin.Arcs) < len(dgSys.Arcs) {
+		t.Errorf("finite horizon has fewer delay arcs (%d) than systolic (%d)",
+			len(dgFin.Arcs), len(dgSys.Arcs))
+	}
+	lambda := 0.5
+	if dgFin.Norm(lambda) < dgSys.Norm(lambda)-1e-9 {
+		t.Error("finite-horizon norm below systolic-horizon norm")
+	}
+}

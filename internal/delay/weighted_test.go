@@ -1,0 +1,138 @@
+package delay
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func TestWeightedDistancesUnit(t *testing.T) {
+	g := topology.Path(5)
+	w := graph.UnitWeights(g)
+	dist := g.WeightedDistances(0, w)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+	if g.WeightedDiameter(w) != 4 {
+		t.Errorf("weighted diameter = %d, want 4", g.WeightedDiameter(w))
+	}
+}
+
+func TestWeightedDistancesNonUnit(t *testing.T) {
+	// 0 -> 1 -> 2 with weights 5, 1, plus direct 0 -> 2 with weight 10:
+	// Dijkstra must prefer 0->1->2 (6) over 0->2 (10).
+	g := graph.New(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(0, 2)
+	w := graph.Weights{
+		{From: 0, To: 1}: 5,
+		{From: 1, To: 2}: 1,
+		{From: 0, To: 2}: 10,
+	}
+	dist := g.WeightedDistances(0, w)
+	if dist[2] != 6 {
+		t.Errorf("dist[2] = %d, want 6", dist[2])
+	}
+}
+
+func TestWeightsValidate(t *testing.T) {
+	g := graph.New(2)
+	g.AddArc(0, 1)
+	if err := (graph.Weights{}).Validate(g); err == nil {
+		t.Error("missing weight accepted")
+	}
+	if err := (graph.Weights{{From: 0, To: 1}: 0}).Validate(g); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := (graph.Weights{{From: 0, To: 1}: 3}).Validate(g); err != nil {
+		t.Errorf("valid weights rejected: %v", err)
+	}
+}
+
+// TestWeightedDiameterBoundSound: the Section 7 bound never exceeds the true
+// weighted diameter, on a variety of weighted digraphs.
+func TestWeightedDiameterBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	cases := []struct {
+		name string
+		g    *graph.Digraph
+	}{
+		{"directed cycle", topology.DirectedCycle(12)},
+		{"de Bruijn", topology.NewDeBruijnDigraph(2, 5).G},
+		{"Kautz", topology.NewKautzDigraph(2, 4).G},
+		{"complete", topology.Complete(8)},
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 3; trial++ {
+			w := make(graph.Weights)
+			for _, a := range c.g.Arcs() {
+				w[a] = 1 + rng.Intn(4)
+			}
+			trueDiam := c.g.WeightedDiameter(w)
+			if trueDiam == graph.Unreached {
+				t.Fatalf("%s: not strongly connected", c.name)
+			}
+			bound, lam, err := BestWeightedDiameterBound(c.g, w)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			if bound > trueDiam {
+				t.Errorf("%s trial %d: bound %d exceeds true diameter %d (λ=%g)",
+					c.name, trial, bound, trueDiam, lam)
+			}
+		}
+	}
+}
+
+// TestWeightedDiameterBoundInformative: on the unit-weight de Bruijn digraph
+// the bound must recover a constant fraction of the true diameter D
+// (the technique is designed for exactly this expander-like regime).
+func TestWeightedDiameterBoundInformative(t *testing.T) {
+	db := topology.NewDeBruijnDigraph(2, 7)
+	w := graph.UnitWeights(db.G)
+	bound, _, err := BestWeightedDiameterBound(db.G, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueDiam := 7 // diameter of DB(2,D) is D
+	if bound < trueDiam/2 {
+		t.Errorf("bound %d too weak vs true diameter %d", bound, trueDiam)
+	}
+	if bound > trueDiam {
+		t.Errorf("bound %d exceeds true diameter %d", bound, trueDiam)
+	}
+}
+
+func TestWeightMatrixValues(t *testing.T) {
+	g := graph.New(2)
+	g.AddArc(0, 1)
+	w := graph.Weights{{From: 0, To: 1}: 3}
+	W, err := WeightMatrix(g, w, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := W.At(0, 1); got != 0.125 {
+		t.Errorf("W[0][1] = %g, want 0.125", got)
+	}
+	if _, err := WeightMatrix(g, w, 1.5); err == nil {
+		t.Error("λ out of range accepted")
+	}
+}
+
+func TestWeightedDiameterBoundDegenerate(t *testing.T) {
+	// With λ too large (ρ ≥ 1) the bound must be reported uninformative.
+	k := topology.Complete(6)
+	w := graph.UnitWeights(k)
+	v, err := WeightedDiameterBound(k, w, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("expected degenerate bound, got %g", v)
+	}
+}

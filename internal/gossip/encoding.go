@@ -1,0 +1,121 @@
+package gossip
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// The text format for protocols is line-oriented so schedules can be stored
+// in version control, diffed, and fed to cmd/gossipsim:
+//
+//	# comments and blank lines are ignored
+//	mode half-duplex        # directed | half-duplex | full-duplex
+//	period 4                # 0 for a finite (non-systolic) protocol
+//	round 0->1 2->3         # one line per round, arcs as from->to
+//	round 1->0 3->2
+//
+// A systolic protocol lists exactly `period` rounds.
+
+// Encode writes p in the text format.
+func (p *Protocol) Encode(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "mode %s\nperiod %d\n", p.Mode, p.Period); err != nil {
+		return err
+	}
+	for _, round := range p.Rounds {
+		parts := make([]string, 0, len(round)+1)
+		parts = append(parts, "round")
+		for _, a := range round {
+			parts = append(parts, fmt.Sprintf("%d->%d", a.From, a.To))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode parses the text format produced by Encode.
+func Decode(r io.Reader) (*Protocol, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	p := &Protocol{Period: -1}
+	modeSet := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "mode":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("gossip: line %d: mode needs one argument", lineNo)
+			}
+			m, err := parseMode(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("gossip: line %d: %w", lineNo, err)
+			}
+			p.Mode = m
+			modeSet = true
+		case "period":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("gossip: line %d: period needs one argument", lineNo)
+			}
+			var v int
+			if _, err := fmt.Sscanf(fields[1], "%d", &v); err != nil || v < 0 {
+				return nil, fmt.Errorf("gossip: line %d: bad period %q", lineNo, fields[1])
+			}
+			p.Period = v
+		case "round":
+			var round []graph.Arc
+			for _, f := range fields[1:] {
+				var a graph.Arc
+				if _, err := fmt.Sscanf(f, "%d->%d", &a.From, &a.To); err != nil {
+					return nil, fmt.Errorf("gossip: line %d: bad arc %q", lineNo, f)
+				}
+				if a.From < 0 || a.To < 0 {
+					return nil, fmt.Errorf("gossip: line %d: negative vertex in %q", lineNo, f)
+				}
+				round = append(round, a)
+			}
+			p.Rounds = append(p.Rounds, round)
+		default:
+			return nil, fmt.Errorf("gossip: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !modeSet {
+		return nil, fmt.Errorf("gossip: missing mode directive")
+	}
+	if p.Period < 0 {
+		return nil, fmt.Errorf("gossip: missing period directive")
+	}
+	if p.Period > 0 && p.Period != len(p.Rounds) {
+		return nil, fmt.Errorf("gossip: period %d but %d rounds listed", p.Period, len(p.Rounds))
+	}
+	return p, nil
+}
+
+func parseMode(s string) (Mode, error) {
+	switch s {
+	case "directed":
+		return Directed, nil
+	case "half-duplex":
+		return HalfDuplex, nil
+	case "full-duplex":
+		return FullDuplex, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}

@@ -1,0 +1,111 @@
+package gossip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := NewSystolic([][]graph.Arc{
+		{{From: 0, To: 1}, {From: 2, To: 3}},
+		{{From: 1, To: 0}},
+	}, HalfDuplex)
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mode != p.Mode || q.Period != p.Period || len(q.Rounds) != len(p.Rounds) {
+		t.Fatalf("round trip header mismatch: %+v vs %+v", q, p)
+	}
+	for i := range p.Rounds {
+		if !sameArcSet(p.Rounds[i], q.Rounds[i]) {
+			t.Errorf("round %d mismatch: %v vs %v", i, p.Rounds[i], q.Rounds[i])
+		}
+	}
+}
+
+func TestEncodeDecodeFinite(t *testing.T) {
+	p := NewFinite([][]graph.Arc{{{From: 0, To: 1}}}, Directed)
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Systolic() || q.Mode != Directed {
+		t.Errorf("finite round trip wrong: %+v", q)
+	}
+}
+
+func TestDecodeCommentsAndBlank(t *testing.T) {
+	in := `
+# a schedule
+mode full-duplex
+
+period 1
+round 0->1 1->0   # exchange
+`
+	p, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != FullDuplex || p.Period != 1 || len(p.Rounds[0]) != 2 {
+		t.Errorf("decoded %+v", p)
+	}
+}
+
+func TestDecodeEmptyRound(t *testing.T) {
+	p, err := Decode(strings.NewReader("mode directed\nperiod 0\nround\nround 0->1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rounds) != 2 || len(p.Rounds[0]) != 0 {
+		t.Errorf("empty round not preserved: %+v", p.Rounds)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"period 2\nround 0->1\nround 1->0\n",       // missing mode
+		"mode half-duplex\nround 0->1\n",           // missing period
+		"mode warp\nperiod 0\n",                    // bad mode
+		"mode directed\nperiod -1\n",               // bad period
+		"mode directed\nperiod 2\nround 0->1\n",    // period/rounds mismatch
+		"mode directed\nperiod 0\nround 0-1\n",     // bad arc syntax
+		"mode directed\nperiod 0\nround -1->2\n",   // negative vertex
+		"mode directed\nperiod 0\nrounds 0->1\n",   // unknown directive
+		"mode directed half\nperiod 0\n",           // extra mode arg
+		"mode directed\nperiod 0 0\nround 0->1\n",  // extra period arg
+		"mode directed\nperiod zero\nround 0->1\n", // non-numeric period
+	}
+	for i, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: bad input accepted:\n%s", i, in)
+		}
+	}
+}
+
+func TestDecodedProtocolSimulates(t *testing.T) {
+	in := "mode half-duplex\nperiod 4\nround 0->1\nround 1->2\nround 2->1\nround 1->0\n"
+	p, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pathGraph(3)
+	res, err := Simulate(g, p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 4 {
+		t.Errorf("decoded protocol gossip = %d rounds, want 4", res.Rounds)
+	}
+}

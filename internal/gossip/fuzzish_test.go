@@ -1,0 +1,68 @@
+package gossip
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestDecodeNeverPanics feeds pseudo-random garbage (and near-miss variants
+// of valid input) to Decode: it must return an error or a protocol, never
+// panic.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	alphabet := []string{
+		"mode", "period", "round", "directed", "half-duplex", "full-duplex",
+		"0->1", "1->0", "->", "-", ">", "0", "1", "-3", "4->", "->7", "#x",
+		"\n", " ", "0->0x", "99999999->1",
+	}
+	for trial := 0; trial < 500; trial++ {
+		var sb strings.Builder
+		tokens := rng.Intn(30)
+		for i := 0; i < tokens; i++ {
+			sb.WriteString(alphabet[rng.Intn(len(alphabet))])
+			if rng.Intn(3) == 0 {
+				sb.WriteByte('\n')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on %q: %v", sb.String(), r)
+				}
+			}()
+			_, _ = Decode(strings.NewReader(sb.String()))
+		}()
+	}
+}
+
+// TestEncodeDecodeQuickRandomProtocols round-trips randomly generated valid
+// protocols.
+func TestEncodeDecodeQuickRandomProtocols(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 50; trial++ {
+		g := randomConnectedGraph(rng, 3+rng.Intn(6))
+		p := randomProtocol(rng, g, 1+rng.Intn(6))
+		if rng.Intn(2) == 0 {
+			p.Period = len(p.Rounds) // declare systolic
+		}
+		var sb strings.Builder
+		if err := p.Encode(&sb); err != nil {
+			t.Fatal(err)
+		}
+		q, err := Decode(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, sb.String())
+		}
+		if q.Period != p.Period || len(q.Rounds) != len(p.Rounds) || q.Mode != p.Mode {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+		for i := range p.Rounds {
+			if !sameArcSet(p.Rounds[i], q.Rounds[i]) {
+				t.Fatalf("trial %d round %d mismatch", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package gossip
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func pathGraph(n int) *graph.Digraph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestModeString(t *testing.T) {
+	if Directed.String() != "directed" || HalfDuplex.String() != "half-duplex" || FullDuplex.String() != "full-duplex" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestProtocolRoundPeriodic(t *testing.T) {
+	p := NewSystolic([][]graph.Arc{{{From: 0, To: 1}}, {{From: 1, To: 0}}}, HalfDuplex)
+	if !p.Systolic() || p.Len() != 2 {
+		t.Error("systolic flags wrong")
+	}
+	for i := 0; i < 10; i++ {
+		want := i % 2
+		got := p.Round(i)
+		if got[0].From != want {
+			t.Fatalf("round %d activates %v", i, got)
+		}
+	}
+}
+
+func TestProtocolRoundFinite(t *testing.T) {
+	p := NewFinite([][]graph.Arc{{{From: 0, To: 1}}}, Directed)
+	if p.Systolic() {
+		t.Error("finite protocol reported systolic")
+	}
+	if p.Round(0) == nil || p.Round(5) != nil {
+		t.Error("finite rounds wrong")
+	}
+}
+
+func TestValidateMatching(t *testing.T) {
+	g := pathGraph(3)
+	bad := NewFinite([][]graph.Arc{{{From: 0, To: 1}, {From: 1, To: 2}}}, HalfDuplex)
+	if err := bad.Validate(g); err == nil {
+		t.Error("non-matching round accepted")
+	}
+}
+
+func TestValidateArcExistence(t *testing.T) {
+	g := pathGraph(3)
+	bad := NewFinite([][]graph.Arc{{{From: 0, To: 2}}}, HalfDuplex)
+	if err := bad.Validate(g); err == nil {
+		t.Error("non-existent arc accepted")
+	}
+}
+
+func TestValidateFullDuplexPairs(t *testing.T) {
+	g := pathGraph(3)
+	bad := NewFinite([][]graph.Arc{{{From: 0, To: 1}}}, FullDuplex)
+	if err := bad.Validate(g); err == nil {
+		t.Error("half arc accepted in full-duplex mode")
+	}
+	good := NewFinite([][]graph.Arc{{{From: 0, To: 1}, {From: 1, To: 0}}}, FullDuplex)
+	if err := good.Validate(g); err != nil {
+		t.Errorf("valid full-duplex round rejected: %v", err)
+	}
+}
+
+func TestValidateSymmetryRequirement(t *testing.T) {
+	g := graph.New(2)
+	g.AddArc(0, 1)
+	p := NewFinite([][]graph.Arc{{{From: 0, To: 1}}}, HalfDuplex)
+	if err := p.Validate(g); err == nil {
+		t.Error("half-duplex on asymmetric digraph accepted")
+	}
+	pd := NewFinite([][]graph.Arc{{{From: 0, To: 1}}}, Directed)
+	if err := pd.Validate(g); err != nil {
+		t.Errorf("directed mode should accept: %v", err)
+	}
+}
+
+func TestSystolicCheck(t *testing.T) {
+	a := []graph.Arc{{From: 0, To: 1}}
+	b := []graph.Arc{{From: 1, To: 0}}
+	if !SystolicCheck([][]graph.Arc{a, b, a, b, a}, 2) {
+		t.Error("2-systolic sequence rejected")
+	}
+	if SystolicCheck([][]graph.Arc{a, b, b, a}, 2) {
+		t.Error("non-systolic sequence accepted")
+	}
+	if SystolicCheck([][]graph.Arc{a, b}, 0) {
+		t.Error("s=0 accepted")
+	}
+}
+
+func TestStateInitial(t *testing.T) {
+	s := NewState(4)
+	for v := 0; v < 4; v++ {
+		for i := 0; i < 4; i++ {
+			if s.Knows(v, i) != (v == i) {
+				t.Fatalf("initial knowledge wrong at (%d,%d)", v, i)
+			}
+		}
+		if s.Count(v) != 1 {
+			t.Fatal("initial count wrong")
+		}
+	}
+	if s.TotalKnowledge() != 4 {
+		t.Error("total knowledge wrong")
+	}
+}
+
+func TestStepTransfersBeginningOfRound(t *testing.T) {
+	// Two opposite arcs in one round must exchange the *initial* sets, not
+	// chain transfers within the round.
+	s := NewState(2)
+	s.Step([]graph.Arc{{From: 0, To: 1}, {From: 1, To: 0}})
+	if !s.Knows(1, 0) || !s.Knows(0, 1) {
+		t.Error("exchange failed")
+	}
+	// Chain 0->1, 1->2 in one round: vertex 2 must NOT learn item 0.
+	s3 := NewState(3)
+	s3.Step([]graph.Arc{{From: 0, To: 1}, {From: 1, To: 2}})
+	if s3.Knows(2, 0) {
+		t.Error("item teleported two hops in one round")
+	}
+	if !s3.Knows(2, 1) || !s3.Knows(1, 0) {
+		t.Error("single-hop transfers missing")
+	}
+}
+
+func TestSimulatePathSequential(t *testing.T) {
+	// Sequential sweep on P3: explicit protocol finishing gossip.
+	g := pathGraph(3)
+	rounds := [][]graph.Arc{
+		{{From: 0, To: 1}},
+		{{From: 1, To: 2}},
+		{{From: 2, To: 1}},
+		{{From: 1, To: 0}},
+	}
+	p := NewFinite(rounds, HalfDuplex)
+	res, err := Simulate(g, p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 4 {
+		t.Errorf("P3 sequential gossip = %d rounds, want 4", res.Rounds)
+	}
+}
+
+func TestSimulateIncomplete(t *testing.T) {
+	g := pathGraph(3)
+	p := NewFinite([][]graph.Arc{{{From: 0, To: 1}}}, HalfDuplex)
+	_, err := Simulate(g, p, 10)
+	if !errors.Is(err, ErrIncomplete) {
+		t.Errorf("want ErrIncomplete, got %v", err)
+	}
+}
+
+func TestSimulateTrivial(t *testing.T) {
+	g := graph.New(1)
+	p := NewFinite(nil, Directed)
+	res, err := Simulate(g, p, 10)
+	if err != nil || res.Rounds != 0 {
+		t.Errorf("single vertex gossip: %v %v", res, err)
+	}
+}
+
+func TestSimulateBroadcast(t *testing.T) {
+	g := pathGraph(4)
+	rounds := [][]graph.Arc{
+		{{From: 0, To: 1}},
+		{{From: 1, To: 2}},
+		{{From: 2, To: 3}},
+	}
+	p := NewFinite(rounds, HalfDuplex)
+	res, err := SimulateBroadcast(g, p, 0, 10)
+	if err != nil || res.Rounds != 3 {
+		t.Errorf("broadcast on P4: %v %v", res, err)
+	}
+	// From source 3 the same protocol never informs anyone.
+	if _, err := SimulateBroadcast(g, p, 3, 10); !errors.Is(err, ErrIncomplete) {
+		t.Error("broadcast from wrong source should fail")
+	}
+}
+
+func TestCompletionCertificateMatchesSimulation(t *testing.T) {
+	g := pathGraph(4)
+	rounds := [][]graph.Arc{
+		{{From: 0, To: 1}, {From: 3, To: 2}},
+		{{From: 1, To: 2}},
+		{{From: 2, To: 3}, {From: 1, To: 0}},
+		{{From: 2, To: 1}},
+		{{From: 1, To: 0}},
+	}
+	p := NewFinite(rounds, HalfDuplex)
+	res, err := Simulate(g, p, 10)
+	if err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+	if !CompletionCertificate(g, p, res.Rounds) {
+		t.Error("certificate rejects a protocol the simulator completed")
+	}
+	if CompletionCertificate(g, p, res.Rounds-1) {
+		t.Error("certificate accepts fewer rounds than the simulator needed")
+	}
+}
+
+func TestKnowledgeMonotone(t *testing.T) {
+	g := pathGraph(5)
+	rounds := [][]graph.Arc{
+		{{From: 0, To: 1}, {From: 2, To: 3}},
+		{{From: 1, To: 2}, {From: 3, To: 4}},
+	}
+	s := NewState(5)
+	prev := s.TotalKnowledge()
+	for r := 0; r < 6; r++ {
+		s.Step(rounds[r%2])
+		cur := s.TotalKnowledge()
+		if cur < prev {
+			t.Fatal("knowledge decreased")
+		}
+		prev = cur
+	}
+	_ = g
+}
+
+func TestBitsetFull(t *testing.T) {
+	b := newBitset(70)
+	for i := 0; i < 70; i++ {
+		b.set(i)
+	}
+	if !b.full(70) {
+		t.Error("full bitset not detected")
+	}
+	b2 := newBitset(64)
+	for i := 0; i < 63; i++ {
+		b2.set(i)
+	}
+	if b2.full(64) {
+		t.Error("incomplete bitset reported full")
+	}
+	if b2.count() != 63 {
+		t.Errorf("count = %d", b2.count())
+	}
+}

@@ -1,0 +1,143 @@
+// Package gossip models the communication protocols of the paper
+// (Definitions 3.1 and 3.2) and provides a bitset-based simulation engine
+// that executes a protocol round by round, tracking which items each
+// processor knows, and reports gossip/broadcast completion times.
+package gossip
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Mode selects the communication model of Section 3.
+type Mode int
+
+const (
+	// Directed: the network is an arbitrary digraph, each round is a
+	// matching of arcs (no two active arcs share an endpoint).
+	Directed Mode = iota
+	// HalfDuplex: the network is a symmetric digraph; rounds are matchings
+	// of arcs and messages travel one way per active link.
+	HalfDuplex
+	// FullDuplex: active arcs come in opposite pairs; any two active arcs
+	// either share no endpoint or are opposite.
+	FullDuplex
+)
+
+// String returns the conventional name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case Directed:
+		return "directed"
+	case HalfDuplex:
+		return "half-duplex"
+	case FullDuplex:
+		return "full-duplex"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Protocol is a sequence of communication rounds on a fixed digraph
+// (Definition 3.1). Period > 0 declares the protocol s-systolic
+// (Definition 3.2): round i activates Rounds[i mod Period]; the protocol may
+// then be run for any number of steps. Period == 0 means the protocol is the
+// explicit finite sequence Rounds.
+type Protocol struct {
+	Rounds [][]graph.Arc
+	Period int
+	Mode   Mode
+}
+
+// NewSystolic returns an s-systolic protocol cycling through rounds.
+func NewSystolic(rounds [][]graph.Arc, mode Mode) *Protocol {
+	return &Protocol{Rounds: rounds, Period: len(rounds), Mode: mode}
+}
+
+// NewFinite returns a non-systolic protocol consisting of exactly rounds.
+func NewFinite(rounds [][]graph.Arc, mode Mode) *Protocol {
+	return &Protocol{Rounds: rounds, Mode: mode}
+}
+
+// Systolic reports whether p repeats with a finite period.
+func (p *Protocol) Systolic() bool { return p.Period > 0 }
+
+// Round returns the arcs active at 0-based round i, applying the periodic
+// repetition when the protocol is systolic.
+func (p *Protocol) Round(i int) []graph.Arc {
+	if i < 0 {
+		panic(fmt.Sprintf("gossip: negative round %d", i))
+	}
+	if p.Period > 0 {
+		return p.Rounds[i%p.Period]
+	}
+	if i >= len(p.Rounds) {
+		return nil
+	}
+	return p.Rounds[i]
+}
+
+// Len returns the number of explicit rounds (one period for a systolic
+// protocol).
+func (p *Protocol) Len() int { return len(p.Rounds) }
+
+// Validate checks the protocol against the digraph and its mode:
+// every arc exists in g, every round is a matching, and in full-duplex mode
+// every round is a set of opposite arc pairs. In half- and full-duplex modes
+// g must be symmetric.
+func (p *Protocol) Validate(g *graph.Digraph) error {
+	if p.Mode != Directed && !g.IsSymmetric() {
+		return fmt.Errorf("gossip: %v mode requires a symmetric digraph", p.Mode)
+	}
+	for i, round := range p.Rounds {
+		if !graph.ArcsInGraph(g, round) {
+			return fmt.Errorf("gossip: round %d activates an arc not in the graph", i)
+		}
+		if p.Mode == FullDuplex {
+			// Opposite pairs share endpoints by design; the full-duplex
+			// constraint (pairs opposite, no endpoint shared across pairs)
+			// replaces the plain matching test.
+			if !graph.IsFullDuplexRound(round) {
+				return fmt.Errorf("gossip: round %d violates the full-duplex constraint", i)
+			}
+		} else if !graph.IsMatching(round) {
+			return fmt.Errorf("gossip: round %d is not a matching", i)
+		}
+	}
+	return nil
+}
+
+// SystolicCheck verifies that an explicit finite round sequence is s-systolic
+// per Definition 3.2 (A_i = A_{i+s} for all applicable i). Rounds are
+// compared as sets.
+func SystolicCheck(rounds [][]graph.Arc, s int) bool {
+	if s <= 0 || s > len(rounds) {
+		return false
+	}
+	for i := 0; i+s < len(rounds); i++ {
+		if !sameArcSet(rounds[i], rounds[i+s]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameArcSet(a, b []graph.Arc) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[graph.Arc]struct{}, len(a))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	if len(set) != len(a) {
+		return false
+	}
+	for _, x := range b {
+		if _, ok := set[x]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,161 @@
+package gossip
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomProtocol builds a random valid half-duplex protocol on a random
+// symmetric graph: each round greedily packs a random subset of arcs into a
+// matching.
+func randomProtocol(rng *rand.Rand, g *graph.Digraph, rounds int) *Protocol {
+	arcs := g.Arcs()
+	var rs [][]graph.Arc
+	for r := 0; r < rounds; r++ {
+		perm := rng.Perm(len(arcs))
+		busy := make(map[int]struct{})
+		var round []graph.Arc
+		for _, i := range perm {
+			a := arcs[i]
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			if _, ok := busy[a.From]; ok {
+				continue
+			}
+			if _, ok := busy[a.To]; ok {
+				continue
+			}
+			busy[a.From] = struct{}{}
+			busy[a.To] = struct{}{}
+			round = append(round, a)
+		}
+		rs = append(rs, round)
+	}
+	return NewFinite(rs, HalfDuplex)
+}
+
+func randomConnectedGraph(rng *rand.Rand, n int) *graph.Digraph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(rng.Intn(v), v)
+	}
+	for extra := 0; extra < n; extra++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasArc(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// TestCertificateAgreesWithSimulatorRandomized: on random protocols the
+// independent completion certificate must agree with the bitset simulator
+// about whether gossip completed after every prefix length.
+func TestCertificateAgreesWithSimulatorRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		g := randomConnectedGraph(rng, 4+rng.Intn(5))
+		p := randomProtocol(rng, g, 12)
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("trial %d: generator produced invalid protocol: %v", trial, err)
+		}
+		st := NewState(g.N())
+		for r := 0; r < p.Len(); r++ {
+			st.Step(p.Round(r))
+			simDone := st.GossipComplete()
+			certDone := CompletionCertificate(g, p, r+1)
+			if simDone != certDone {
+				t.Fatalf("trial %d round %d: simulator says %v, certificate says %v",
+					trial, r, simDone, certDone)
+			}
+		}
+	}
+}
+
+// TestKnowledgeMonotoneRandomized: total knowledge never decreases and is
+// bounded by n².
+func TestKnowledgeMonotoneRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(6)
+		g := randomConnectedGraph(rng, n)
+		p := randomProtocol(rng, g, 15)
+		st := NewState(n)
+		prev := st.TotalKnowledge()
+		for r := 0; r < p.Len(); r++ {
+			st.Step(p.Round(r))
+			cur := st.TotalKnowledge()
+			if cur < prev || cur > n*n {
+				t.Fatalf("trial %d: knowledge %d -> %d out of bounds", trial, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestOneItemPerRoundPerVertex: in the whispering model a vertex gains at
+// most the sender's whole set via exactly one incoming arc per round; with
+// singleton knowledge, count gains are bounded by 2x per round
+// (doubling at most).
+func TestTotalKnowledgeAtMostDoubles(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(6)
+		g := randomConnectedGraph(rng, n)
+		p := randomProtocol(rng, g, 10)
+		st := NewState(n)
+		prev := st.TotalKnowledge()
+		for r := 0; r < p.Len(); r++ {
+			st.Step(p.Round(r))
+			cur := st.TotalKnowledge()
+			if cur > 2*prev {
+				t.Fatalf("trial %d: knowledge more than doubled in one round (%d -> %d)", trial, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestHalfDuplexGossipAtLeastLog: by the counting argument, half-duplex
+// gossip cannot finish before ⌈log2(n)⌉ rounds (knowledge at most doubles).
+func TestHalfDuplexGossipAtLeastLog(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.Intn(8)
+		g := randomConnectedGraph(rng, n)
+		p := randomProtocol(rng, g, 30*n)
+		res, err := Simulate(g, p, 30*n)
+		if err != nil {
+			continue // random protocol may not complete; fine
+		}
+		log2n := 0
+		for m := 1; m < n; m <<= 1 {
+			log2n++
+		}
+		if res.Rounds < log2n {
+			t.Fatalf("trial %d: gossip in %d rounds beats the log2(n)=%d information bound", trial, res.Rounds, log2n)
+		}
+	}
+}
+
+func TestStepEmptyRound(t *testing.T) {
+	st := NewState(3)
+	before := st.TotalKnowledge()
+	st.Step(nil)
+	if st.TotalKnowledge() != before {
+		t.Error("empty round changed knowledge")
+	}
+}
+
+func TestRoundNegativePanics(t *testing.T) {
+	p := NewSystolic([][]graph.Arc{{{From: 0, To: 1}}}, HalfDuplex)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Round(-1)
+}

@@ -1,0 +1,186 @@
+package gossip
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ErrIncomplete is returned when a simulation hits its round budget before
+// the dissemination completes.
+var ErrIncomplete = errors.New("gossip: protocol did not complete within the round budget")
+
+// State tracks, for every processor, the set of items it currently knows.
+// Item i originates at processor i.
+type State struct {
+	n    int
+	know []bitset
+}
+
+// NewState returns the initial gossip state in which every processor knows
+// exactly its own item.
+func NewState(n int) *State {
+	s := &State{n: n, know: make([]bitset, n)}
+	for v := 0; v < n; v++ {
+		s.know[v] = newBitset(n)
+		s.know[v].set(v)
+	}
+	return s
+}
+
+// NewBroadcastState returns a state in which only the source knows one item;
+// it is used to measure broadcasting time b(G).
+func NewBroadcastState(n, source int) *State {
+	s := &State{n: n, know: make([]bitset, n)}
+	for v := 0; v < n; v++ {
+		s.know[v] = newBitset(1)
+	}
+	s.know[source].set(0)
+	return s
+}
+
+// Knows reports whether processor v currently knows item i.
+func (s *State) Knows(v, i int) bool { return s.know[v].has(i) }
+
+// Count returns how many items processor v knows.
+func (s *State) Count(v int) int { return s.know[v].count() }
+
+// TotalKnowledge returns the sum over processors of known items; it is
+// strictly monotone under Step until completion.
+func (s *State) TotalKnowledge() int {
+	t := 0
+	for _, k := range s.know {
+		t += k.count()
+	}
+	return t
+}
+
+// Step applies one communication round: for each active arc (x, y), y learns
+// everything x knew at the beginning of the round. All transfers in a round
+// are simultaneous; because rounds are matchings a vertex receives on at
+// most one arc, but the implementation still snapshots senders to be correct
+// for arbitrary arc sets (e.g. full-duplex opposite pairs).
+func (s *State) Step(round []graph.Arc) {
+	// Snapshot each sender's knowledge so opposite arcs exchange the
+	// *beginning-of-round* sets, as the model requires.
+	snapshots := make(map[int]bitset, len(round))
+	for _, a := range round {
+		if _, ok := snapshots[a.From]; !ok {
+			snapshots[a.From] = s.know[a.From].clone()
+		}
+	}
+	for _, a := range round {
+		s.know[a.To].orInto(snapshots[a.From])
+	}
+}
+
+// GossipComplete reports whether every processor knows every item.
+func (s *State) GossipComplete() bool {
+	for _, k := range s.know {
+		if !k.full(s.n) {
+			return false
+		}
+	}
+	return true
+}
+
+// BroadcastComplete reports whether every processor knows item 0.
+func (s *State) BroadcastComplete() bool {
+	for _, k := range s.know {
+		if !k.has(0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Result reports the outcome of a simulation.
+type Result struct {
+	Rounds int // rounds executed until completion
+	N      int // number of processors
+}
+
+// Simulate runs p on g until gossip completes, up to maxRounds. The protocol
+// is validated first. For a systolic protocol the period is repeated as
+// needed; for a finite protocol the explicit rounds are the budget (capped
+// by maxRounds).
+func Simulate(g *graph.Digraph, p *Protocol, maxRounds int) (Result, error) {
+	if err := p.Validate(g); err != nil {
+		return Result{}, err
+	}
+	budget := maxRounds
+	if !p.Systolic() && p.Len() < budget {
+		budget = p.Len()
+	}
+	st := NewState(g.N())
+	if st.GossipComplete() { // n ≤ 1
+		return Result{Rounds: 0, N: g.N()}, nil
+	}
+	for r := 0; r < budget; r++ {
+		st.Step(p.Round(r))
+		if st.GossipComplete() {
+			return Result{Rounds: r + 1, N: g.N()}, nil
+		}
+	}
+	return Result{Rounds: budget, N: g.N()}, fmt.Errorf("%w (budget %d)", ErrIncomplete, budget)
+}
+
+// SimulateBroadcast runs p on g until the item of source reaches every
+// processor, up to maxRounds.
+func SimulateBroadcast(g *graph.Digraph, p *Protocol, source, maxRounds int) (Result, error) {
+	if err := p.Validate(g); err != nil {
+		return Result{}, err
+	}
+	budget := maxRounds
+	if !p.Systolic() && p.Len() < budget {
+		budget = p.Len()
+	}
+	st := NewBroadcastState(g.N(), source)
+	if st.BroadcastComplete() {
+		return Result{Rounds: 0, N: g.N()}, nil
+	}
+	for r := 0; r < budget; r++ {
+		st.Step(p.Round(r))
+		if st.BroadcastComplete() {
+			return Result{Rounds: r + 1, N: g.N()}, nil
+		}
+	}
+	return Result{Rounds: budget, N: g.N()}, fmt.Errorf("%w (budget %d)", ErrIncomplete, budget)
+}
+
+// CompletionCertificate verifies Definition 3.1 condition 2 directly for a
+// finite protocol: for every ordered pair (x, y) there is a time-respecting
+// dipath from x to y within the executed rounds. It is equivalent to
+// GossipComplete after running all rounds but is computed independently
+// (by forward propagation of reachability sets per source), so tests can
+// cross-check the simulator.
+func CompletionCertificate(g *graph.Digraph, p *Protocol, t int) bool {
+	n := g.N()
+	for x := 0; x < n; x++ {
+		// reached[v] = true if the item of x can be at v by the current round.
+		reached := make([]bool, n)
+		reached[x] = true
+		cnt := 1
+		for r := 0; r < t && cnt < n; r++ {
+			round := p.Round(r)
+			// Items move along arcs whose tail already holds them. Within a
+			// single round an item crosses at most one arc (matching), and
+			// the snapshot below enforces "beginning of round" semantics.
+			var gained []int
+			for _, a := range round {
+				if reached[a.From] && !reached[a.To] {
+					gained = append(gained, a.To)
+				}
+			}
+			for _, v := range gained {
+				reached[v] = true
+				cnt++
+			}
+		}
+		if cnt < n {
+			return false
+		}
+	}
+	return true
+}

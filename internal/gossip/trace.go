@@ -1,0 +1,64 @@
+package gossip
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Trace records the dissemination curve of a protocol run: per round, the
+// total knowledge (sum over processors of known items), the minimum
+// per-processor knowledge, and whether gossip had completed. It is the
+// "series" view used by the examples and benchmarks to show protocol shape
+// (slow linear growth on paths, doubling on hypercubes, …).
+type Trace struct {
+	Total    []int
+	Min      []int
+	Complete int // first 1-based round at which gossip completed, 0 if never
+}
+
+// TraceGossip executes p for up to maxRounds rounds, recording the curve.
+// The protocol is validated first.
+func TraceGossip(g *graph.Digraph, p *Protocol, maxRounds int) (*Trace, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	st := NewState(n)
+	tr := &Trace{}
+	budget := maxRounds
+	if !p.Systolic() && p.Len() < budget {
+		budget = p.Len()
+	}
+	for r := 0; r < budget; r++ {
+		st.Step(p.Round(r))
+		tr.Total = append(tr.Total, st.TotalKnowledge())
+		min := n
+		for v := 0; v < n; v++ {
+			if c := st.Count(v); c < min {
+				min = c
+			}
+		}
+		tr.Min = append(tr.Min, min)
+		if tr.Complete == 0 && st.GossipComplete() {
+			tr.Complete = r + 1
+			break
+		}
+	}
+	return tr, nil
+}
+
+// Rounds returns the number of recorded rounds.
+func (tr *Trace) Rounds() int { return len(tr.Total) }
+
+// String renders the curve compactly: "round total/min" triples.
+func (tr *Trace) String() string {
+	out := ""
+	for i := range tr.Total {
+		out += fmt.Sprintf("%d:%d/%d ", i+1, tr.Total[i], tr.Min[i])
+	}
+	if tr.Complete > 0 {
+		out += fmt.Sprintf("(complete at %d)", tr.Complete)
+	}
+	return out
+}

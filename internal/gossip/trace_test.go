@@ -1,0 +1,98 @@
+package gossip
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func exchangeProtocol() *Protocol {
+	// Q2 dimension exchange on 4 vertices.
+	return NewSystolic([][]graph.Arc{
+		{{From: 0, To: 1}, {From: 1, To: 0}, {From: 2, To: 3}, {From: 3, To: 2}},
+		{{From: 0, To: 2}, {From: 2, To: 0}, {From: 1, To: 3}, {From: 3, To: 1}},
+	}, FullDuplex)
+}
+
+func q2() *graph.Digraph {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	return g
+}
+
+func TestTraceGossipDoubling(t *testing.T) {
+	tr, err := TraceGossip(q2(), exchangeProtocol(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Knowledge doubles every round: totals 8, 16; completion at round 2.
+	if tr.Complete != 2 {
+		t.Fatalf("complete = %d, want 2 (trace %v)", tr.Complete, tr.Total)
+	}
+	if tr.Total[0] != 8 || tr.Total[1] != 16 {
+		t.Errorf("totals = %v, want [8 16]", tr.Total)
+	}
+	if tr.Min[0] != 2 || tr.Min[1] != 4 {
+		t.Errorf("mins = %v, want [2 4]", tr.Min)
+	}
+}
+
+func TestTraceMonotone(t *testing.T) {
+	g := pathGraph(6)
+	p := NewSystolic([][]graph.Arc{
+		{{From: 0, To: 1}, {From: 2, To: 3}, {From: 4, To: 5}},
+		{{From: 1, To: 2}, {From: 3, To: 4}},
+		{{From: 5, To: 4}, {From: 3, To: 2}, {From: 1, To: 0}},
+		{{From: 4, To: 3}, {From: 2, To: 1}},
+	}, HalfDuplex)
+	tr, err := TraceGossip(g, p, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < tr.Rounds(); i++ {
+		if tr.Total[i] < tr.Total[i-1] || tr.Min[i] < tr.Min[i-1] {
+			t.Fatalf("trace not monotone at %d: %v / %v", i, tr.Total, tr.Min)
+		}
+	}
+	if tr.Complete == 0 {
+		t.Error("zig-zag path protocol never completed")
+	}
+	if tr.Total[tr.Rounds()-1] != 36 {
+		t.Errorf("final total = %d, want n² = 36", tr.Total[tr.Rounds()-1])
+	}
+}
+
+func TestTraceIncomplete(t *testing.T) {
+	g := pathGraph(4)
+	p := NewFinite([][]graph.Arc{{{From: 0, To: 1}}}, HalfDuplex)
+	tr, err := TraceGossip(g, p, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Complete != 0 || tr.Rounds() != 1 {
+		t.Errorf("trace = %+v", tr)
+	}
+}
+
+func TestTraceValidates(t *testing.T) {
+	g := pathGraph(3)
+	bad := NewFinite([][]graph.Arc{{{From: 0, To: 2}}}, HalfDuplex)
+	if _, err := TraceGossip(g, bad, 10); err == nil {
+		t.Error("invalid protocol accepted")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr, err := TraceGossip(q2(), exchangeProtocol(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.String()
+	if !strings.Contains(s, "complete at 2") || !strings.Contains(s, "1:8/2") {
+		t.Errorf("trace string = %q", s)
+	}
+}

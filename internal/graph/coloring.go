@@ -1,0 +1,73 @@
+package graph
+
+import "fmt"
+
+// EdgeColoring is a proper edge coloring of the undirected edges of a
+// symmetric digraph: Classes[c] lists the edges (u < v) of color c, and no
+// two edges of the same color share an endpoint. It is the input to periodic
+// ("traffic-light") gossip protocols in the Liestman–Richards style.
+type EdgeColoring struct {
+	Classes [][]Arc
+}
+
+// NumColors returns the number of color classes.
+func (ec *EdgeColoring) NumColors() int { return len(ec.Classes) }
+
+// GreedyEdgeColoring properly colors the undirected edges of a symmetric
+// digraph with at most 2Δ−1 colors, where Δ is the undirected degree. The
+// scan order is deterministic, so protocols built from the coloring are
+// reproducible. It panics if g is not symmetric.
+func GreedyEdgeColoring(g *Digraph) *EdgeColoring {
+	if !g.IsSymmetric() {
+		panic("graph: GreedyEdgeColoring requires a symmetric digraph")
+	}
+	edges := g.Edges()
+	// colorsAt[v] is the set of colors already used by edges incident to v.
+	colorsAt := make([]map[int]struct{}, g.n)
+	for i := range colorsAt {
+		colorsAt[i] = make(map[int]struct{})
+	}
+	ec := &EdgeColoring{}
+	for _, e := range edges {
+		c := 0
+		for {
+			_, usedU := colorsAt[e.From][c]
+			_, usedV := colorsAt[e.To][c]
+			if !usedU && !usedV {
+				break
+			}
+			c++
+		}
+		for len(ec.Classes) <= c {
+			ec.Classes = append(ec.Classes, nil)
+		}
+		ec.Classes[c] = append(ec.Classes[c], e)
+		colorsAt[e.From][c] = struct{}{}
+		colorsAt[e.To][c] = struct{}{}
+	}
+	return ec
+}
+
+// Validate checks that every class is a matching and every listed edge has
+// both orientations in g.
+func (ec *EdgeColoring) Validate(g *Digraph) error {
+	seen := make(map[Arc]struct{})
+	for c, class := range ec.Classes {
+		if !IsMatching(class) {
+			return fmt.Errorf("graph: color class %d is not a matching", c)
+		}
+		for _, e := range class {
+			if !g.HasArc(e.From, e.To) || !g.HasArc(e.To, e.From) {
+				return fmt.Errorf("graph: colored edge (%d,%d) not in graph", e.From, e.To)
+			}
+			if _, dup := seen[e]; dup {
+				return fmt.Errorf("graph: edge (%d,%d) colored twice", e.From, e.To)
+			}
+			seen[e] = struct{}{}
+		}
+	}
+	if len(seen) != len(g.Edges()) {
+		return fmt.Errorf("graph: coloring covers %d edges, graph has %d", len(seen), len(g.Edges()))
+	}
+	return nil
+}

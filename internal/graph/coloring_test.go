@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyEdgeColoringTriangle(t *testing.T) {
+	g := buildTriangle()
+	ec := GreedyEdgeColoring(g)
+	if err := ec.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// A triangle needs exactly 3 colors.
+	if ec.NumColors() != 3 {
+		t.Errorf("triangle colored with %d colors, want 3", ec.NumColors())
+	}
+}
+
+func TestGreedyEdgeColoringPath(t *testing.T) {
+	g := New(5)
+	for i := 0; i+1 < 5; i++ {
+		g.AddEdge(i, i+1)
+	}
+	ec := GreedyEdgeColoring(g)
+	if err := ec.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if ec.NumColors() != 2 {
+		t.Errorf("path colored with %d colors, want 2", ec.NumColors())
+	}
+}
+
+func TestGreedyEdgeColoringRequiresSymmetric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on asymmetric digraph")
+		}
+	}()
+	g := New(2)
+	g.AddArc(0, 1)
+	GreedyEdgeColoring(g)
+}
+
+// TestGreedyEdgeColoringProperty: on random symmetric graphs the coloring is
+// proper and uses at most 2Δ−1 colors.
+func TestGreedyEdgeColoringProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomSymmetric(seed, 12, 0.3)
+		ec := GreedyEdgeColoring(g)
+		if err := ec.Validate(g); err != nil {
+			return false
+		}
+		maxDeg := g.MaxDeg() / 2
+		if maxDeg == 0 {
+			return ec.NumColors() == 0
+		}
+		return ec.NumColors() <= 2*maxDeg-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomSymmetric builds a deterministic pseudo-random symmetric digraph
+// from a seed using a simple LCG (no external dependencies).
+func randomSymmetric(seed int64, n int, p float64) *Digraph {
+	g := New(n)
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if next() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestValidateCatchesBadColoring(t *testing.T) {
+	g := buildTriangle()
+	bad := &EdgeColoring{Classes: [][]Arc{{{0, 1}, {1, 2}}}}
+	if err := bad.Validate(g); err == nil {
+		t.Error("non-matching class accepted")
+	}
+	missing := &EdgeColoring{Classes: [][]Arc{{{0, 1}}}}
+	if err := missing.Validate(g); err == nil {
+		t.Error("incomplete coloring accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Package graph implements the directed-graph substrate of the reproduction:
+// digraphs with arc-level queries, breadth-first distances, diameters,
+// set-to-set distances (for separator verification), matching checks (the
+// whispering model's per-round constraint) and greedy proper edge coloring
+// (used to build periodic gossip protocols in the style of
+// Liestman–Richards).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arc is a directed communication link from From to To.
+type Arc struct {
+	From, To int
+}
+
+// Digraph is a simple directed graph on vertices 0..n-1. Self-loops and
+// parallel arcs are rejected at insertion. The networks of the paper are
+// modeled as digraphs; an undirected (half/full-duplex capable) network is a
+// symmetric digraph containing both orientations of every edge.
+type Digraph struct {
+	n      int
+	out    [][]int
+	in     [][]int
+	arcSet map[Arc]struct{}
+	sorted bool
+}
+
+// New returns an empty digraph with n vertices.
+func New(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Digraph{
+		n:      n,
+		out:    make([][]int, n),
+		in:     make([][]int, n),
+		arcSet: make(map[Arc]struct{}),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return g.n }
+
+// M returns the number of arcs.
+func (g *Digraph) M() int { return len(g.arcSet) }
+
+// AddArc inserts the arc u→v. It panics on self-loops, out-of-range vertices
+// or duplicate arcs: topology generators are deterministic and a duplicate
+// indicates a construction bug worth failing loudly on.
+func (g *Digraph) AddArc(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: arc (%d,%d) out of range n=%d", u, v, g.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	a := Arc{u, v}
+	if _, dup := g.arcSet[a]; dup {
+		panic(fmt.Sprintf("graph: duplicate arc (%d,%d)", u, v))
+	}
+	g.arcSet[a] = struct{}{}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	g.sorted = false
+}
+
+// AddEdge inserts both u→v and v→u.
+func (g *Digraph) AddEdge(u, v int) {
+	g.AddArc(u, v)
+	g.AddArc(v, u)
+}
+
+// HasArc reports whether u→v is present.
+func (g *Digraph) HasArc(u, v int) bool {
+	_, ok := g.arcSet[Arc{u, v}]
+	return ok
+}
+
+// Out returns the out-neighbors of u. The returned slice must not be
+// modified.
+func (g *Digraph) Out(u int) []int { return g.out[u] }
+
+// In returns the in-neighbors of u. The returned slice must not be modified.
+func (g *Digraph) In(u int) []int { return g.in[u] }
+
+// OutDeg returns the out-degree of u.
+func (g *Digraph) OutDeg(u int) int { return len(g.out[u]) }
+
+// InDeg returns the in-degree of u.
+func (g *Digraph) InDeg(u int) int { return len(g.in[u]) }
+
+// MaxOutDeg returns the maximum out-degree over all vertices.
+func (g *Digraph) MaxOutDeg() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if d := len(g.out[u]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MaxDeg returns the maximum total degree (in + out) over all vertices. For
+// a symmetric digraph this is twice the underlying undirected degree.
+func (g *Digraph) MaxDeg() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if d := len(g.out[u]) + len(g.in[u]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Arcs returns all arcs in deterministic (sorted) order.
+func (g *Digraph) Arcs() []Arc {
+	arcs := make([]Arc, 0, len(g.arcSet))
+	for a := range g.arcSet {
+		arcs = append(arcs, a)
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
+		}
+		return arcs[i].To < arcs[j].To
+	})
+	return arcs
+}
+
+// Edges returns the undirected edges {u,v} with u < v for which both
+// orientations are present.
+func (g *Digraph) Edges() []Arc {
+	var edges []Arc
+	for a := range g.arcSet {
+		if a.From < a.To && g.HasArc(a.To, a.From) {
+			edges = append(edges, a)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return edges
+}
+
+// IsSymmetric reports whether every arc's opposite is present, i.e. whether
+// g models an undirected network.
+func (g *Digraph) IsSymmetric() bool {
+	for a := range g.arcSet {
+		if !g.HasArc(a.To, a.From) {
+			return false
+		}
+	}
+	return true
+}
+
+// SymmetricClosure returns a new digraph with the opposite of every arc
+// added (when missing).
+func (g *Digraph) SymmetricClosure() *Digraph {
+	c := New(g.n)
+	for a := range g.arcSet {
+		if !c.HasArc(a.From, a.To) {
+			c.AddArc(a.From, a.To)
+		}
+		if !c.HasArc(a.To, a.From) {
+			c.AddArc(a.To, a.From)
+		}
+	}
+	return c
+}
+
+// Reverse returns the digraph with every arc reversed.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.n)
+	for a := range g.arcSet {
+		r.AddArc(a.To, a.From)
+	}
+	return r
+}
+
+// sortAdj sorts adjacency lists for deterministic traversal order.
+func (g *Digraph) sortAdj() {
+	if g.sorted {
+		return
+	}
+	for u := 0; u < g.n; u++ {
+		sort.Ints(g.out[u])
+		sort.Ints(g.in[u])
+	}
+	g.sorted = true
+}

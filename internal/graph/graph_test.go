@@ -1,0 +1,235 @@
+package graph
+
+import "testing"
+
+func buildTriangle() *Digraph {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	return g
+}
+
+func TestAddArcBasics(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	if !g.HasArc(0, 1) || g.HasArc(1, 0) {
+		t.Error("HasArc wrong")
+	}
+	if g.M() != 1 || g.N() != 3 {
+		t.Errorf("M=%d N=%d", g.M(), g.N())
+	}
+	if g.OutDeg(0) != 1 || g.InDeg(1) != 1 || g.OutDeg(1) != 0 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestAddArcPanics(t *testing.T) {
+	cases := []func(*Digraph){
+		func(g *Digraph) { g.AddArc(0, 0) },
+		func(g *Digraph) { g.AddArc(0, 5) },
+		func(g *Digraph) { g.AddArc(0, 1); g.AddArc(0, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f(New(3))
+		}()
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	g := buildTriangle()
+	if !g.IsSymmetric() {
+		t.Error("triangle should be symmetric")
+	}
+	d := New(2)
+	d.AddArc(0, 1)
+	if d.IsSymmetric() {
+		t.Error("single arc is not symmetric")
+	}
+	c := d.SymmetricClosure()
+	if !c.IsSymmetric() || c.M() != 2 {
+		t.Error("closure wrong")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	r := g.Reverse()
+	if !r.HasArc(1, 0) || !r.HasArc(2, 1) || r.M() != 2 {
+		t.Error("reverse wrong")
+	}
+}
+
+func TestArcsAndEdgesDeterministic(t *testing.T) {
+	g := buildTriangle()
+	arcs := g.Arcs()
+	if len(arcs) != 6 {
+		t.Fatalf("arcs = %d, want 6", len(arcs))
+	}
+	for i := 1; i < len(arcs); i++ {
+		if arcs[i-1].From > arcs[i].From ||
+			(arcs[i-1].From == arcs[i].From && arcs[i-1].To >= arcs[i].To) {
+			t.Fatal("Arcs not sorted")
+		}
+	}
+	edges := g.Edges()
+	if len(edges) != 3 {
+		t.Fatalf("edges = %d, want 3", len(edges))
+	}
+	for _, e := range edges {
+		if e.From >= e.To {
+			t.Error("edge orientation not canonical")
+		}
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	d := g.BFS(0)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	d := g.BFS(1)
+	if d[0] != Unreached || d[2] != Unreached || d[1] != 0 {
+		t.Errorf("dist = %v", d)
+	}
+}
+
+func TestMultiSourceBFS(t *testing.T) {
+	g := New(5)
+	for i := 0; i+1 < 5; i++ {
+		g.AddEdge(i, i+1)
+	}
+	d := g.MultiSourceBFS([]int{0, 4})
+	want := []int{0, 1, 2, 1, 0}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestDiameterAndEccentricity(t *testing.T) {
+	g := New(4)
+	for i := 0; i+1 < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	if g.Diameter() != 3 {
+		t.Errorf("path diameter = %d, want 3", g.Diameter())
+	}
+	if g.Eccentricity(1) != 2 {
+		t.Errorf("ecc(1) = %d, want 2", g.Eccentricity(1))
+	}
+	dir := New(2)
+	dir.AddArc(0, 1)
+	if dir.Diameter() != Unreached {
+		t.Error("non-strongly-connected diameter should be Unreached")
+	}
+}
+
+func TestDistBetweenSets(t *testing.T) {
+	g := New(6)
+	for i := 0; i+1 < 6; i++ {
+		g.AddEdge(i, i+1)
+	}
+	if d := g.DistBetweenSets([]int{0, 1}, []int{4, 5}); d != 3 {
+		t.Errorf("set distance = %d, want 3", d)
+	}
+}
+
+func TestIsStronglyConnected(t *testing.T) {
+	if !buildTriangle().IsStronglyConnected() {
+		t.Error("triangle should be strongly connected")
+	}
+	d := New(3)
+	d.AddArc(0, 1)
+	d.AddArc(1, 2)
+	if d.IsStronglyConnected() {
+		t.Error("directed path is not strongly connected")
+	}
+	c := New(3)
+	c.AddArc(0, 1)
+	c.AddArc(1, 2)
+	c.AddArc(2, 0)
+	if !c.IsStronglyConnected() {
+		t.Error("directed cycle should be strongly connected")
+	}
+}
+
+func TestIsMatching(t *testing.T) {
+	if !IsMatching([]Arc{{0, 1}, {2, 3}}) {
+		t.Error("disjoint arcs should be a matching")
+	}
+	if IsMatching([]Arc{{0, 1}, {1, 2}}) {
+		t.Error("shared endpoint accepted")
+	}
+	if IsMatching([]Arc{{0, 1}, {1, 0}}) {
+		t.Error("opposite arcs share endpoints and are not a half-duplex matching")
+	}
+	if !IsMatching(nil) {
+		t.Error("empty round should be a matching")
+	}
+}
+
+func TestIsFullDuplexRound(t *testing.T) {
+	if !IsFullDuplexRound([]Arc{{0, 1}, {1, 0}, {2, 3}, {3, 2}}) {
+		t.Error("valid full-duplex round rejected")
+	}
+	if IsFullDuplexRound([]Arc{{0, 1}}) {
+		t.Error("missing opposite accepted")
+	}
+	if IsFullDuplexRound([]Arc{{0, 1}, {1, 0}, {1, 2}, {2, 1}}) {
+		t.Error("overlapping pairs accepted")
+	}
+	if IsFullDuplexRound([]Arc{{0, 1}, {1, 0}, {0, 1}}) {
+		t.Error("duplicate arc accepted")
+	}
+}
+
+func TestArcsInGraph(t *testing.T) {
+	g := buildTriangle()
+	if !ArcsInGraph(g, []Arc{{0, 1}, {2, 0}}) {
+		t.Error("existing arcs rejected")
+	}
+	if ArcsInGraph(g, []Arc{{0, 2}, {0, 1}}) == false {
+		// triangle is symmetric so (0,2) exists too
+		t.Error("existing arc rejected")
+	}
+	h := New(3)
+	h.AddArc(0, 1)
+	if ArcsInGraph(h, []Arc{{1, 0}}) {
+		t.Error("missing arc accepted")
+	}
+}
+
+func TestMaxDegrees(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	if g.MaxOutDeg() != 3 {
+		t.Errorf("MaxOutDeg = %d, want 3", g.MaxOutDeg())
+	}
+	if g.MaxDeg() != 6 {
+		t.Errorf("MaxDeg = %d, want 6", g.MaxDeg())
+	}
+}

@@ -1,0 +1,58 @@
+package graph
+
+// IsMatching reports whether no two arcs in round share an endpoint — the
+// whispering (processor-bound) constraint of Definition 3.1, condition 1:
+// each processor has at most one active incident link per round.
+func IsMatching(round []Arc) bool {
+	used := make(map[int]struct{}, 2*len(round))
+	for _, a := range round {
+		if _, ok := used[a.From]; ok {
+			return false
+		}
+		if _, ok := used[a.To]; ok {
+			return false
+		}
+		used[a.From] = struct{}{}
+		used[a.To] = struct{}{}
+	}
+	return true
+}
+
+// IsFullDuplexRound reports whether round satisfies the full-duplex
+// constraint of Section 3: any two active arcs either share no endpoint or
+// are opposite, and every arc's opposite is active. Equivalently, the round
+// is a set of bidirectional edges forming a matching.
+func IsFullDuplexRound(round []Arc) bool {
+	set := make(map[Arc]struct{}, len(round))
+	for _, a := range round {
+		set[a] = struct{}{}
+	}
+	if len(set) != len(round) {
+		return false // duplicate arcs
+	}
+	endpoint := make(map[int]int, 2*len(round)) // vertex -> partner
+	for _, a := range round {
+		if _, ok := set[Arc{a.To, a.From}]; !ok {
+			return false
+		}
+		if p, ok := endpoint[a.From]; ok && p != a.To {
+			return false
+		}
+		if p, ok := endpoint[a.To]; ok && p != a.From {
+			return false
+		}
+		endpoint[a.From] = a.To
+		endpoint[a.To] = a.From
+	}
+	return true
+}
+
+// ArcsInGraph reports whether every arc of round exists in g.
+func ArcsInGraph(g *Digraph, round []Arc) bool {
+	for _, a := range round {
+		if !g.HasArc(a.From, a.To) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDiameterParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDigraphFromSeed(seed, 14, 0.3)
+		return g.DiameterParallel() == g.Diameter()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiameterParallelKnown(t *testing.T) {
+	g := New(6)
+	for i := 0; i+1 < 6; i++ {
+		g.AddEdge(i, i+1)
+	}
+	if d := g.DiameterParallel(); d != 5 {
+		t.Errorf("path diameter = %d, want 5", d)
+	}
+	dir := New(3)
+	dir.AddArc(0, 1)
+	if dir.DiameterParallel() != Unreached {
+		t.Error("disconnected digraph should report Unreached")
+	}
+	if New(0).DiameterParallel() != 0 {
+		t.Error("empty digraph diameter should be 0")
+	}
+}
+
+func TestDiameterParallelLargerInstance(t *testing.T) {
+	// A 30x30 torus has diameter 30 (15+15); exercises real parallelism.
+	g := New(900)
+	id := func(r, c int) int { return r*30 + c }
+	for r := 0; r < 30; r++ {
+		for c := 0; c < 30; c++ {
+			g.AddEdge(id(r, c), id(r, (c+1)%30))
+			g.AddEdge(id(r, c), id((r+1)%30, c))
+		}
+	}
+	if d := g.DiameterParallel(); d != 30 {
+		t.Errorf("torus diameter = %d, want 30", d)
+	}
+}

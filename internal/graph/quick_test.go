@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSymmetricClosureIdempotent: closing twice equals closing once.
+func TestSymmetricClosureIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDigraphFromSeed(seed, 10, 0.25)
+		c1 := g.SymmetricClosure()
+		c2 := c1.SymmetricClosure()
+		if c1.M() != c2.M() {
+			return false
+		}
+		for _, a := range c1.Arcs() {
+			if !c2.HasArc(a.From, a.To) {
+				return false
+			}
+		}
+		return c1.IsSymmetric()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReverseInvolution: reversing twice gives the original arc set.
+func TestReverseInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDigraphFromSeed(seed, 9, 0.3)
+		rr := g.Reverse().Reverse()
+		if rr.M() != g.M() {
+			return false
+		}
+		for _, a := range g.Arcs() {
+			if !rr.HasArc(a.From, a.To) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDegreeSumEqualsArcs: Σ out-degrees = Σ in-degrees = M.
+func TestDegreeSumEqualsArcs(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDigraphFromSeed(seed, 12, 0.2)
+		outSum, inSum := 0, 0
+		for v := 0; v < g.N(); v++ {
+			outSum += g.OutDeg(v)
+			inSum += g.InDeg(v)
+		}
+		return outSum == g.M() && inSum == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBFSTriangleInequality: dist(s,v) ≤ dist(s,u) + 1 for every arc (u,v).
+func TestBFSTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDigraphFromSeed(seed, 10, 0.3)
+		dist := g.BFS(0)
+		for _, a := range g.Arcs() {
+			if dist[a.From] != Unreached {
+				if dist[a.To] == Unreached || dist[a.To] > dist[a.From]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWeightedDistanceDominatedByHops: with unit weights, Dijkstra equals
+// BFS; with weights ≥ 1, weighted distance ≥ hop distance.
+func TestWeightedDistanceDominatedByHops(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDigraphFromSeed(seed, 9, 0.35)
+		unit := UnitWeights(g)
+		bfs := g.BFS(0)
+		dij := g.WeightedDistances(0, unit)
+		for v := 0; v < g.N(); v++ {
+			if bfs[v] != dij[v] {
+				return false
+			}
+		}
+		heavy := make(Weights, len(unit))
+		state := uint64(seed) * 2654435761
+		for a := range unit {
+			state = state*6364136223846793005 + 1442695040888963407
+			heavy[a] = 1 + int(state%5)
+		}
+		wd := g.WeightedDistances(0, heavy)
+		for v := 0; v < g.N(); v++ {
+			if bfs[v] == Unreached {
+				if wd[v] != Unreached {
+					return false
+				}
+				continue
+			}
+			if wd[v] < bfs[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomDigraphFromSeed builds a deterministic pseudo-random digraph.
+func randomDigraphFromSeed(seed int64, n int, p float64) *Digraph {
+	g := New(n)
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && next() < p {
+				g.AddArc(i, j)
+			}
+		}
+	}
+	return g
+}

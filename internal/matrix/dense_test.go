@@ -1,0 +1,179 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewDenseZero(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("fresh matrix not zero at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 3.5)
+	m.Set(1, 0, -2)
+	if m.At(0, 1) != 3.5 || m.At(1, 0) != -2 || m.At(0, 0) != 0 {
+		t.Errorf("Set/At mismatch: %v", m)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	NewDense(2, 2).At(2, 0)
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 0) != 1 || m.At(0, 1) != 2 || m.At(1, 0) != 3 || m.At(1, 1) != 4 {
+		t.Errorf("FromRows content wrong: %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityMul(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if !m.Mul(Identity(2)).ApproxEqual(m, 0) || !Identity(2).Mul(m).ApproxEqual(m, 0) {
+		t.Error("identity product changed the matrix")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !a.Mul(b).ApproxEqual(want, 1e-12) {
+		t.Errorf("Mul = %v, want %v", a.Mul(b), want)
+	}
+}
+
+func TestMulVecKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec(Vector{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Errorf("MulVec = %v, want [-2 -2]", got)
+	}
+}
+
+func TestTransposeMulVecAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 5, 7, false)
+	v := make(Vector, 5)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	got := a.TransposeMulVec(v)
+	want := a.Transpose().MulVec(v)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("TransposeMulVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 4, 6, false)
+	if !a.Transpose().Transpose().ApproxEqual(a, 0) {
+		t.Error("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestGramAgainstExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 6, 4, false)
+	if !a.Gram().ApproxEqual(a.Transpose().Mul(a), 1e-12) {
+		t.Error("Gram != AᵀA")
+	}
+	if !a.Gram().IsSymmetric(1e-12) {
+		t.Error("Gram matrix not symmetric")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if !a.Add(b).ApproxEqual(FromRows([][]float64{{5, 5}, {5, 5}}), 0) {
+		t.Error("Add wrong")
+	}
+	if !a.Sub(a).ApproxEqual(NewDense(2, 2), 0) {
+		t.Error("A-A != 0")
+	}
+	if !a.Scale(2).ApproxEqual(FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Error("Scale wrong")
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := a.Row(1)
+	c := a.Col(0)
+	if r[0] != 3 || r[1] != 4 || c[0] != 1 || c[1] != 3 {
+		t.Errorf("Row/Col wrong: %v %v", r, c)
+	}
+	cl := a.Clone()
+	cl.Set(0, 0, 99)
+	if a.At(0, 0) == 99 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestLessEqAndNonNegative(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{1, 3}, {3, 5}})
+	if !a.LessEq(b, 0) || b.LessEq(a, 0) {
+		t.Error("LessEq wrong")
+	}
+	if !a.IsNonNegative() {
+		t.Error("a should be non-negative")
+	}
+	if FromRows([][]float64{{-1}}).IsNonNegative() {
+		t.Error("negative matrix reported non-negative")
+	}
+}
+
+func TestMaxEntry(t *testing.T) {
+	a := FromRows([][]float64{{-5, 2}, {1, -9}})
+	if a.MaxEntry() != 2 {
+		t.Errorf("MaxEntry = %g, want 2", a.MaxEntry())
+	}
+}
+
+// randomMatrix returns a rows×cols matrix with N(0,1) entries, absolute
+// values if nonneg is set.
+func randomMatrix(rng *rand.Rand, rows, cols int, nonneg bool) *Dense {
+	m := NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := rng.NormFloat64()
+			if nonneg {
+				v = math.Abs(v)
+			}
+			m.Set(i, j, v)
+		}
+	}
+	return m
+}

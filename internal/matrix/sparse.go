@@ -1,0 +1,140 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Triplet is a single (row, col, value) entry used to assemble a CSR matrix.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a sparse matrix in compressed-sparse-row format. Delay matrices of
+// large protocols have Θ(s) entries per row, so CSR keeps the norm
+// computation linear in the number of activations.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// NewCSR assembles a rows×cols CSR matrix from triplets. Duplicate (row,col)
+// entries are summed. The input slice is sorted in place.
+func NewCSR(rows, cols int, ts []Triplet) *CSR {
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			panic(fmt.Sprintf("matrix: triplet (%d,%d) out of range %dx%d", t.Row, t.Col, rows, cols))
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Row != ts[j].Row {
+			return ts[i].Row < ts[j].Row
+		}
+		return ts[i].Col < ts[j].Col
+	})
+	m := &CSR{
+		rows:   rows,
+		cols:   cols,
+		rowPtr: make([]int, rows+1),
+	}
+	for i := 0; i < len(ts); {
+		j := i
+		v := 0.0
+		for j < len(ts) && ts[j].Row == ts[i].Row && ts[j].Col == ts[i].Col {
+			v += ts[j].Val
+			j++
+		}
+		m.colIdx = append(m.colIdx, ts[i].Col)
+		m.vals = append(m.vals, v)
+		m.rowPtr[ts[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// At returns the entry at (i, j); absent entries are 0.
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if k < hi && m.colIdx[k] == j {
+		return m.vals[k]
+	}
+	return 0
+}
+
+// MulVec returns m·v.
+func (m *CSR) MulVec(v Vector) Vector {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("matrix: %dx%d CSR times vector of length %d", m.rows, m.cols, len(v)))
+	}
+	out := make(Vector, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.vals[k] * v[m.colIdx[k]]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TransposeMulVec returns mᵀ·v.
+func (m *CSR) TransposeMulVec(v Vector) Vector {
+	if len(v) != m.rows {
+		panic(fmt.Sprintf("matrix: %dx%d CSR transpose times vector of length %d", m.rows, m.cols, len(v)))
+	}
+	out := make(Vector, m.cols)
+	for i := 0; i < m.rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			out[m.colIdx[k]] += m.vals[k] * vi
+		}
+	}
+	return out
+}
+
+// Norm2 returns ‖m‖₂ = √ρ(mᵀm) via power iteration using only sparse
+// matrix-vector products.
+func (m *CSR) Norm2() float64 {
+	if m.rows == 0 || m.cols == 0 || m.NNZ() == 0 {
+		return 0
+	}
+	rho := gramSpectralRadius(m.MulVec, m.TransposeMulVec, m.cols)
+	if rho < 0 {
+		return 0
+	}
+	return math.Sqrt(rho)
+}
+
+// Dense converts m to a dense matrix (intended for small matrices in tests).
+func (m *CSR) Dense() *Dense {
+	d := NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			d.Set(i, m.colIdx[k], m.vals[k])
+		}
+	}
+	return d
+}

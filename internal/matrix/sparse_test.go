@@ -1,0 +1,91 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCSRBasic(t *testing.T) {
+	m := NewCSR(3, 3, []Triplet{
+		{Row: 0, Col: 1, Val: 2},
+		{Row: 2, Col: 0, Val: 5},
+		{Row: 1, Col: 1, Val: -1},
+	})
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	if m.At(0, 1) != 2 || m.At(2, 0) != 5 || m.At(1, 1) != -1 || m.At(0, 0) != 0 {
+		t.Error("At values wrong")
+	}
+}
+
+func TestCSRDuplicatesSummed(t *testing.T) {
+	m := NewCSR(2, 2, []Triplet{
+		{Row: 0, Col: 0, Val: 1},
+		{Row: 0, Col: 0, Val: 2.5},
+	})
+	if m.At(0, 0) != 3.5 || m.NNZ() != 1 {
+		t.Errorf("duplicate handling wrong: At=%g NNZ=%d", m.At(0, 0), m.NNZ())
+	}
+}
+
+func TestCSROutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCSR(2, 2, []Triplet{{Row: 2, Col: 0, Val: 1}})
+}
+
+func TestCSRMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var ts []Triplet
+	for k := 0; k < 40; k++ {
+		ts = append(ts, Triplet{Row: rng.Intn(8), Col: rng.Intn(6), Val: rng.Float64()})
+	}
+	m := NewCSR(8, 6, ts)
+	d := m.Dense()
+	v := make(Vector, 6)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	got, want := m.MulVec(v), d.MulVec(v)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec[%d]: %g vs %g", i, got[i], want[i])
+		}
+	}
+	w := make(Vector, 8)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	got, want = m.TransposeMulVec(w), d.TransposeMulVec(w)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("TransposeMulVec[%d]: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSRNorm2AgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		var ts []Triplet
+		for k := 0; k < 25; k++ {
+			ts = append(ts, Triplet{Row: rng.Intn(7), Col: rng.Intn(7), Val: rng.Float64()})
+		}
+		m := NewCSR(7, 7, ts)
+		n1, n2 := m.Norm2(), Norm2(m.Dense())
+		if math.Abs(n1-n2) > 1e-8*(1+n1) {
+			t.Fatalf("sparse norm %g vs dense norm %g", n1, n2)
+		}
+	}
+}
+
+func TestCSREmptyNorm(t *testing.T) {
+	if NewCSR(5, 5, nil).Norm2() != 0 {
+		t.Error("empty CSR should have norm 0")
+	}
+}

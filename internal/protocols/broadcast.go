@@ -1,0 +1,91 @@
+package protocols
+
+import (
+	"sort"
+
+	"repro/internal/gossip"
+	"repro/internal/graph"
+)
+
+// BroadcastSchedule builds a broadcast protocol from source: informed
+// vertices inform their uninformed BFS-tree children one per round, deeper
+// subtrees first (the classical largest-subtree-first heuristic). The result
+// is a valid whispering protocol whose simulated completion time upper
+// bounds b(G, source).
+func BroadcastSchedule(g *graph.Digraph, source int) *gossip.Protocol {
+	n := g.N()
+	dist := g.BFS(source)
+	// Build BFS tree children lists.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	children := make([][]int, n)
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if dist[v] != graph.Unreached {
+			order = append(order, v)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return dist[order[i]] < dist[order[j]] })
+	for _, v := range order {
+		if v == source {
+			continue
+		}
+		for _, u := range g.In(v) {
+			if dist[u] == dist[v]-1 {
+				parent[v] = u
+				children[u] = append(children[u], v)
+				break
+			}
+		}
+	}
+	// subtree height for largest-first ordering
+	height := make([]int, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		h := 0
+		for _, c := range children[v] {
+			if height[c]+1 > h {
+				h = height[c] + 1
+			}
+		}
+		height[v] = h
+	}
+	for v := range children {
+		cs := children[v]
+		sort.Slice(cs, func(i, j int) bool { return height[cs[i]] > height[cs[j]] })
+	}
+	// Schedule: each informed vertex sends to its next unserved child every
+	// round, in deterministic vertex order.
+	informed := make([]bool, n)
+	informed[source] = true
+	informedList := []int{source}
+	next := make([]int, n)
+	var rounds [][]graph.Arc
+	for {
+		var round []graph.Arc
+		var newly []int
+		for _, v := range informedList {
+			for next[v] < len(children[v]) {
+				c := children[v][next[v]]
+				next[v]++
+				if !informed[c] {
+					round = append(round, graph.Arc{From: v, To: c})
+					newly = append(newly, c)
+					break
+				}
+			}
+		}
+		if len(round) == 0 {
+			break
+		}
+		rounds = append(rounds, round)
+		for _, c := range newly {
+			informed[c] = true
+			informedList = append(informedList, c)
+		}
+		sort.Ints(informedList)
+	}
+	return gossip.NewFinite(rounds, gossip.Directed)
+}

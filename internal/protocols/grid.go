@@ -1,0 +1,118 @@
+package protocols
+
+import (
+	"fmt"
+
+	"repro/internal/gossip"
+	"repro/internal/graph"
+)
+
+// GridFullDuplex returns the classical 4-systolic full-duplex
+// ("traffic-light") gossip protocol on the a×b grid in the style of
+// Liestman–Richards [20] and Kortsarz–Peleg [14]: the period alternates
+// {even horizontal edges, odd horizontal edges, even vertical edges, odd
+// vertical edges}, each activated bidirectionally. Gossip completes in
+// Θ(a+b) rounds, within a constant factor of the optimal systolic grid
+// protocols of [11].
+func GridFullDuplex(a, b int) *gossip.Protocol {
+	if a < 1 || b < 1 || a*b < 2 {
+		panic(fmt.Sprintf("protocols: GridFullDuplex needs at least 2 vertices, got %dx%d", a, b))
+	}
+	id := func(r, c int) int { return r*b + c }
+	rounds := make([][]graph.Arc, 4)
+	addEdge := func(round int, u, v int) {
+		rounds[round] = append(rounds[round], graph.Arc{From: u, To: v}, graph.Arc{From: v, To: u})
+	}
+	for r := 0; r < a; r++ {
+		for c := 0; c+1 < b; c++ {
+			addEdge(c%2, id(r, c), id(r, c+1))
+		}
+	}
+	for r := 0; r+1 < a; r++ {
+		for c := 0; c < b; c++ {
+			addEdge(2+r%2, id(r, c), id(r+1, c))
+		}
+	}
+	// Degenerate shapes (single row/column) leave some rounds empty; drop
+	// them so the period reflects the actual schedule.
+	var nonEmpty [][]graph.Arc
+	for _, round := range rounds {
+		if len(round) > 0 {
+			nonEmpty = append(nonEmpty, round)
+		}
+	}
+	return gossip.NewSystolic(nonEmpty, gossip.FullDuplex)
+}
+
+// GridHalfDuplex returns the 8-systolic half-duplex variant: each of the
+// four edge classes is activated twice per period, once per orientation,
+// sweeping right/down first and left/up second.
+func GridHalfDuplex(a, b int) *gossip.Protocol {
+	if a < 1 || b < 1 || a*b < 2 {
+		panic(fmt.Sprintf("protocols: GridHalfDuplex needs at least 2 vertices, got %dx%d", a, b))
+	}
+	id := func(r, c int) int { return r*b + c }
+	fwd := make([][]graph.Arc, 4)
+	bwd := make([][]graph.Arc, 4)
+	for r := 0; r < a; r++ {
+		for c := 0; c+1 < b; c++ {
+			fwd[c%2] = append(fwd[c%2], graph.Arc{From: id(r, c), To: id(r, c+1)})
+			bwd[c%2] = append(bwd[c%2], graph.Arc{From: id(r, c+1), To: id(r, c)})
+		}
+	}
+	for r := 0; r+1 < a; r++ {
+		for c := 0; c < b; c++ {
+			fwd[2+r%2] = append(fwd[2+r%2], graph.Arc{From: id(r, c), To: id(r+1, c)})
+			bwd[2+r%2] = append(bwd[2+r%2], graph.Arc{From: id(r+1, c), To: id(r, c)})
+		}
+	}
+	var rounds [][]graph.Arc
+	for _, round := range fwd {
+		if len(round) > 0 {
+			rounds = append(rounds, round)
+		}
+	}
+	for _, round := range bwd {
+		if len(round) > 0 {
+			rounds = append(rounds, round)
+		}
+	}
+	return gossip.NewSystolic(rounds, gossip.HalfDuplex)
+}
+
+// TreeSweep returns a systolic half-duplex protocol for a rooted tree given
+// by the parent relation implicit in the complete d-ary tree numbering
+// (parent of v > 0 is (v-1)/d): an up-sweep phase (children toward parents)
+// followed by a down-sweep, in the spirit of the optimal systolic tree
+// protocols of [8]. Rounds are split by child slot and by depth parity —
+// tails sit at one parity and heads at the other, which keeps every round a
+// matching. The period is at most 4d.
+func TreeSweep(d, n int) *gossip.Protocol {
+	if d < 1 || n < 2 {
+		panic(fmt.Sprintf("protocols: TreeSweep needs d ≥ 1, n ≥ 2, got d=%d n=%d", d, n))
+	}
+	depth := make([]int, n)
+	for v := 1; v < n; v++ {
+		depth[v] = depth[(v-1)/d] + 1
+	}
+	up := make([][]graph.Arc, 2*d)
+	down := make([][]graph.Arc, 2*d)
+	for v := 1; v < n; v++ {
+		parent := (v - 1) / d
+		slot := (v-1)%d + d*(depth[v]%2)
+		up[slot] = append(up[slot], graph.Arc{From: v, To: parent})
+		down[slot] = append(down[slot], graph.Arc{From: parent, To: v})
+	}
+	var rounds [][]graph.Arc
+	for _, round := range up {
+		if len(round) > 0 {
+			rounds = append(rounds, round)
+		}
+	}
+	for _, round := range down {
+		if len(round) > 0 {
+			rounds = append(rounds, round)
+		}
+	}
+	return gossip.NewSystolic(rounds, gossip.HalfDuplex)
+}

@@ -1,0 +1,101 @@
+package protocols
+
+import (
+	"testing"
+
+	"repro/internal/gossip"
+	"repro/internal/topology"
+)
+
+func TestGridFullDuplexCompletes(t *testing.T) {
+	for _, dims := range [][2]int{{4, 4}, {3, 7}, {1, 9}, {6, 2}} {
+		a, b := dims[0], dims[1]
+		g := topology.Grid(a, b)
+		p := GridFullDuplex(a, b)
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("%dx%d: %v", a, b, err)
+		}
+		res, err := gossip.Simulate(g, p, 100*(a+b))
+		if err != nil {
+			t.Fatalf("%dx%d: %v", a, b, err)
+		}
+		// Gossip needs at least the diameter a+b-2 rounds; traffic-light is
+		// within a small constant factor.
+		if res.Rounds < a+b-2 {
+			t.Errorf("%dx%d: %d rounds below diameter %d", a, b, res.Rounds, a+b-2)
+		}
+		if res.Rounds > 6*(a+b) {
+			t.Errorf("%dx%d: %d rounds far above Θ(a+b)", a, b, res.Rounds)
+		}
+	}
+}
+
+func TestGridFullDuplexPeriod(t *testing.T) {
+	if p := GridFullDuplex(4, 4); p.Period != 4 {
+		t.Errorf("4x4 period = %d, want 4", p.Period)
+	}
+	// A single row has no vertical edges: period 2.
+	if p := GridFullDuplex(1, 8); p.Period != 2 {
+		t.Errorf("1x8 period = %d, want 2", p.Period)
+	}
+}
+
+func TestGridHalfDuplexCompletes(t *testing.T) {
+	for _, dims := range [][2]int{{4, 5}, {3, 3}} {
+		a, b := dims[0], dims[1]
+		g := topology.Grid(a, b)
+		p := GridHalfDuplex(a, b)
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("%dx%d: %v", a, b, err)
+		}
+		if p.Period != 8 {
+			t.Errorf("%dx%d period = %d, want 8", a, b, p.Period)
+		}
+		if _, err := gossip.Simulate(g, p, 200*(a+b)); err != nil {
+			t.Fatalf("%dx%d: %v", a, b, err)
+		}
+	}
+}
+
+func TestTreeSweepCompletes(t *testing.T) {
+	for _, c := range []struct{ d, depth int }{{2, 3}, {3, 2}, {2, 4}} {
+		g := topology.CompleteKAryTree(c.d, c.depth)
+		p := TreeSweep(c.d, g.N())
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("d=%d depth=%d: %v", c.d, c.depth, err)
+		}
+		res, err := gossip.Simulate(g, p, 1000*c.depth)
+		if err != nil {
+			t.Fatalf("d=%d depth=%d: %v", c.d, c.depth, err)
+		}
+		// Gossip on a tree needs at least 2·depth (two leaves must swap).
+		if res.Rounds < 2*c.depth {
+			t.Errorf("d=%d depth=%d: %d rounds below 2·depth", c.d, c.depth, res.Rounds)
+		}
+	}
+}
+
+func TestTreeSweepPeriod(t *testing.T) {
+	g := topology.CompleteKAryTree(3, 2)
+	p := TreeSweep(3, g.N())
+	if p.Period > 12 || p.Period < 2 {
+		t.Errorf("period = %d, want at most 4d", p.Period)
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { GridFullDuplex(1, 1) },
+		func() { GridHalfDuplex(0, 5) },
+		func() { TreeSweep(2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,122 @@
+// Package protocols constructs concrete gossip and broadcast protocols on
+// the paper's topologies. These play the role of the upper-bound protocols
+// cited by the paper ([8,11,20,24]): every construction is a valid protocol
+// in the whispering model, so its simulated completion time can be compared
+// against the lower bounds of Sections 4–6.
+package protocols
+
+import (
+	"fmt"
+
+	"repro/internal/gossip"
+	"repro/internal/graph"
+)
+
+// PeriodicFullDuplex builds the Liestman–Richards style periodic
+// ("traffic-light") protocol from a proper edge coloring: with k colors the
+// protocol is k-systolic and round i activates both orientations of every
+// edge of color i mod k. On a connected graph it always completes gossip.
+func PeriodicFullDuplex(g *graph.Digraph) *gossip.Protocol {
+	ec := graph.GreedyEdgeColoring(g)
+	rounds := make([][]graph.Arc, ec.NumColors())
+	for c, class := range ec.Classes {
+		for _, e := range class {
+			rounds[c] = append(rounds[c], e, graph.Arc{From: e.To, To: e.From})
+		}
+	}
+	return gossip.NewSystolic(rounds, gossip.FullDuplex)
+}
+
+// PeriodicHalfDuplex builds a 2k-systolic half-duplex protocol from a proper
+// edge coloring with k colors: each period activates every color class
+// twice, first oriented low→high endpoint, then high→low, so information can
+// travel both ways across every edge within a period.
+func PeriodicHalfDuplex(g *graph.Digraph) *gossip.Protocol {
+	ec := graph.GreedyEdgeColoring(g)
+	k := ec.NumColors()
+	rounds := make([][]graph.Arc, 2*k)
+	for c, class := range ec.Classes {
+		for _, e := range class {
+			rounds[c] = append(rounds[c], e) // e.From < e.To by construction
+			rounds[k+c] = append(rounds[k+c], graph.Arc{From: e.To, To: e.From})
+		}
+	}
+	return gossip.NewSystolic(rounds, gossip.HalfDuplex)
+}
+
+// PeriodicInterleavedHalfDuplex is the variant that alternates orientations
+// color by color (color 0 forward, color 0 backward, color 1 forward, …),
+// which on paths and cycles matches the classical zig-zag systolic schemes.
+func PeriodicInterleavedHalfDuplex(g *graph.Digraph) *gossip.Protocol {
+	ec := graph.GreedyEdgeColoring(g)
+	rounds := make([][]graph.Arc, 2*ec.NumColors())
+	for c, class := range ec.Classes {
+		for _, e := range class {
+			rounds[2*c] = append(rounds[2*c], e)
+			rounds[2*c+1] = append(rounds[2*c+1], graph.Arc{From: e.To, To: e.From})
+		}
+	}
+	return gossip.NewSystolic(rounds, gossip.HalfDuplex)
+}
+
+// RoundRobinDirected builds an s-systolic protocol for a (possibly
+// non-symmetric) digraph by greedily partitioning all arcs into matchings:
+// round i activates matching i mod s. Every arc is activated once per
+// period, so on a strongly connected digraph the protocol completes gossip.
+func RoundRobinDirected(g *graph.Digraph) *gossip.Protocol {
+	arcs := g.Arcs()
+	var rounds [][]graph.Arc
+	used := make([]bool, len(arcs))
+	remaining := len(arcs)
+	for remaining > 0 {
+		var round []graph.Arc
+		busy := make(map[int]struct{})
+		for i, a := range arcs {
+			if used[i] {
+				continue
+			}
+			if _, ok := busy[a.From]; ok {
+				continue
+			}
+			if _, ok := busy[a.To]; ok {
+				continue
+			}
+			round = append(round, a)
+			busy[a.From] = struct{}{}
+			busy[a.To] = struct{}{}
+			used[i] = true
+			remaining--
+		}
+		if len(round) == 0 {
+			panic("protocols: matching partition made no progress")
+		}
+		rounds = append(rounds, round)
+	}
+	return gossip.NewSystolic(rounds, gossip.Directed)
+}
+
+// Orient converts a full-duplex protocol into a half-duplex one by splitting
+// every round into two: first the low→high orientations, then the opposite
+// ones. The result is 2s-systolic when the input is s-systolic.
+func Orient(p *gossip.Protocol) *gossip.Protocol {
+	if p.Mode != gossip.FullDuplex {
+		panic(fmt.Sprintf("protocols: Orient expects a full-duplex protocol, got %v", p.Mode))
+	}
+	rounds := make([][]graph.Arc, 0, 2*len(p.Rounds))
+	for _, round := range p.Rounds {
+		var fwd, bwd []graph.Arc
+		for _, a := range round {
+			if a.From < a.To {
+				fwd = append(fwd, a)
+			} else {
+				bwd = append(bwd, a)
+			}
+		}
+		rounds = append(rounds, fwd, bwd)
+	}
+	out := &gossip.Protocol{Rounds: rounds, Mode: gossip.HalfDuplex}
+	if p.Systolic() {
+		out.Period = 2 * p.Period
+	}
+	return out
+}

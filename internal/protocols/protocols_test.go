@@ -1,0 +1,313 @@
+package protocols
+
+import (
+	"testing"
+
+	"repro/internal/gossip"
+	"repro/internal/topology"
+)
+
+func TestPeriodicFullDuplexPath(t *testing.T) {
+	g := topology.Path(8)
+	p := PeriodicFullDuplex(g)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if p.Period != 2 {
+		t.Errorf("path coloring period = %d, want 2", p.Period)
+	}
+	res, err := gossip.Simulate(g, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-duplex path gossip needs about n rounds; the periodic scheme is
+	// within a small factor.
+	if res.Rounds < 7 || res.Rounds > 3*8 {
+		t.Errorf("path gossip rounds = %d", res.Rounds)
+	}
+}
+
+func TestPeriodicHalfDuplexCycle(t *testing.T) {
+	g := topology.Cycle(10)
+	p := PeriodicHalfDuplex(g)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	res, err := gossip.Simulate(g, p, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 5 {
+		t.Errorf("suspiciously fast cycle gossip: %d", res.Rounds)
+	}
+}
+
+func TestPeriodicInterleavedHalfDuplexPath(t *testing.T) {
+	g := topology.Path(9)
+	p := PeriodicInterleavedHalfDuplex(g)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gossip.Simulate(g, p, 2000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodicCompletesOnPaperTopologies(t *testing.T) {
+	type tc struct {
+		name   string
+		run    func() (int, error)
+		budget int
+	}
+	tests := []tc{
+		{"WBF(2,3) full-duplex", func() (int, error) {
+			w := topology.NewWrappedButterfly(2, 3)
+			p := PeriodicFullDuplex(w.G)
+			r, err := gossip.Simulate(w.G, p, 5000)
+			return r.Rounds, err
+		}, 5000},
+		{"DB(2,4) half-duplex", func() (int, error) {
+			db := topology.NewDeBruijn(2, 4)
+			p := PeriodicHalfDuplex(db.G)
+			r, err := gossip.Simulate(db.G, p, 5000)
+			return r.Rounds, err
+		}, 5000},
+		{"K(2,3) full-duplex", func() (int, error) {
+			k := topology.NewKautz(2, 3)
+			p := PeriodicFullDuplex(k.G)
+			r, err := gossip.Simulate(k.G, p, 5000)
+			return r.Rounds, err
+		}, 5000},
+		{"BF(2,3) full-duplex", func() (int, error) {
+			bf := topology.NewButterfly(2, 3)
+			p := PeriodicFullDuplex(bf.G)
+			r, err := gossip.Simulate(bf.G, p, 5000)
+			return r.Rounds, err
+		}, 5000},
+	}
+	for _, c := range tests {
+		rounds, err := c.run()
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if rounds <= 0 || rounds >= c.budget {
+			t.Errorf("%s: rounds = %d", c.name, rounds)
+		}
+	}
+}
+
+func TestRoundRobinDirectedDeBruijn(t *testing.T) {
+	db := topology.NewDeBruijnDigraph(2, 4)
+	p := RoundRobinDirected(db.G)
+	if err := p.Validate(db.G); err != nil {
+		t.Fatal(err)
+	}
+	res, err := gossip.Simulate(db.G, p, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= 0 {
+		t.Error("no rounds used")
+	}
+}
+
+func TestHypercubeExchangeOptimal(t *testing.T) {
+	for D := 1; D <= 6; D++ {
+		g := topology.Hypercube(D)
+		p := HypercubeExchange(D)
+		if err := p.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		res, err := gossip.Simulate(g, p, 10*D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds != D {
+			t.Errorf("Q%d gossip = %d rounds, want %d (optimal)", D, res.Rounds, D)
+		}
+	}
+}
+
+func TestCompleteDoublingOptimal(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		g := topology.Complete(n)
+		p := CompleteDoubling(n)
+		if err := p.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		res, err := gossip.Simulate(g, p, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for m := 1; m < n; m <<= 1 {
+			want++
+		}
+		if res.Rounds != want {
+			t.Errorf("K%d gossip = %d rounds, want %d", n, res.Rounds, want)
+		}
+	}
+}
+
+func TestCompleteDoublingPanicsOnOddN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CompleteDoubling(6)
+}
+
+func TestPathZigZag(t *testing.T) {
+	for _, n := range []int{2, 5, 8, 13} {
+		g := topology.Path(n)
+		p := PathZigZag(n)
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if p.Period != 4 {
+			t.Errorf("period = %d, want 4", p.Period)
+		}
+		res, err := gossip.Simulate(g, p, 20*n+40)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Half-duplex path gossip needs ≥ 2(n-1) - 1 rounds for the two
+		// extremal items to swap ends; zig-zag is within a small factor.
+		if n > 2 && res.Rounds < n-1 {
+			t.Errorf("n=%d: impossibly fast (%d rounds)", n, res.Rounds)
+		}
+	}
+}
+
+func TestCycleTwoPhaseLinearTime(t *testing.T) {
+	for _, n := range []int{4, 8, 10} {
+		g := topology.DirectedCycle(n)
+		p := CycleTwoPhase(n)
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		res, err := gossip.Simulate(g, p, 10*n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// The s=2 remark of Section 4: gossip needs ≥ n-1 rounds.
+		if res.Rounds < n-1 {
+			t.Errorf("n=%d: 2-systolic gossip in %d < n-1 rounds contradicts the paper", n, res.Rounds)
+		}
+	}
+}
+
+func TestGreedyGossipHalfDuplexPath(t *testing.T) {
+	g := topology.Path(8)
+	p, err := GreedyGossip(g, gossip.HalfDuplex, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	res, err := gossip.Simulate(g, p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 7 {
+		t.Errorf("greedy path gossip = %d rounds, impossible (< n-1)", res.Rounds)
+	}
+}
+
+func TestGreedyGossipDirectedDeBruijn(t *testing.T) {
+	db := topology.NewDeBruijnDigraph(2, 3)
+	p, err := GreedyGossip(db.G, gossip.Directed, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gossip.Simulate(db.G, p, 500); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyGossipFullDuplexTorus(t *testing.T) {
+	g := topology.Torus(4, 4)
+	p, err := GreedyGossipFullDuplex(g, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	res, err := gossip.Simulate(g, p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-duplex gossip cannot beat log2(n) = 4 rounds, nor the diameter.
+	if res.Rounds < 4 {
+		t.Errorf("torus gossip = %d rounds < log n", res.Rounds)
+	}
+}
+
+func TestOrientDoublesPeriod(t *testing.T) {
+	g := topology.Cycle(6)
+	fd := PeriodicFullDuplex(g)
+	hd := Orient(fd)
+	if hd.Mode != gossip.HalfDuplex {
+		t.Error("mode not half-duplex")
+	}
+	if hd.Period != 2*fd.Period {
+		t.Errorf("period = %d, want %d", hd.Period, 2*fd.Period)
+	}
+	if err := hd.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gossip.Simulate(g, hd, 1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrappedButterflyLevels(t *testing.T) {
+	w := topology.NewWrappedButterfly(2, 3)
+	p := WrappedButterflyLevels(w)
+	if err := p.Validate(w.G); err != nil {
+		t.Fatal(err)
+	}
+	if p.Period != 2*3 {
+		t.Errorf("period = %d, want 6", p.Period)
+	}
+	res, err := gossip.Simulate(w.G, p, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= 0 {
+		t.Error("no rounds")
+	}
+}
+
+func TestBroadcastScheduleHypercube(t *testing.T) {
+	g := topology.Hypercube(4)
+	p := BroadcastSchedule(g, 0)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	res, err := gossip.SimulateBroadcast(g, p, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b(Q_D) = D; the BFS-tree heuristic stays within a factor ~2 of it.
+	if res.Rounds < 4 || res.Rounds > 10 {
+		t.Errorf("Q4 broadcast = %d rounds", res.Rounds)
+	}
+}
+
+func TestBroadcastScheduleStarLinear(t *testing.T) {
+	g := topology.Star(7)
+	p := BroadcastSchedule(g, 0)
+	res, err := gossip.SimulateBroadcast(g, p, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The center must inform 6 leaves one at a time.
+	if res.Rounds != 6 {
+		t.Errorf("star broadcast = %d rounds, want 6", res.Rounds)
+	}
+}

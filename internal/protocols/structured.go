@@ -1,0 +1,158 @@
+package protocols
+
+import (
+	"fmt"
+
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// HypercubeExchange returns the classical dimension-exchange gossip on Q_D:
+// a D-systolic full-duplex protocol whose round i exchanges across dimension
+// i mod D. It completes gossip in exactly D rounds = log₂(n), the optimum.
+func HypercubeExchange(D int) *gossip.Protocol {
+	n := 1 << D
+	rounds := make([][]graph.Arc, D)
+	for dim := 0; dim < D; dim++ {
+		for v := 0; v < n; v++ {
+			w := v ^ (1 << dim)
+			rounds[dim] = append(rounds[dim], graph.Arc{From: v, To: w})
+		}
+	}
+	return gossip.NewSystolic(rounds, gossip.FullDuplex)
+}
+
+// CompleteDoubling returns the recursive-doubling gossip on K_n for n a
+// power of two: round r pairs v with v XOR 2^r. It is ⌈log₂ n⌉ rounds of
+// full-duplex exchange, matching the classical optimum g(K_n) = log₂(n) for
+// even n.
+func CompleteDoubling(n int) *gossip.Protocol {
+	if n&(n-1) != 0 || n < 2 {
+		panic(fmt.Sprintf("protocols: CompleteDoubling needs n a power of two ≥ 2, got %d", n))
+	}
+	var rounds [][]graph.Arc
+	for bit := 1; bit < n; bit <<= 1 {
+		var round []graph.Arc
+		for v := 0; v < n; v++ {
+			round = append(round, graph.Arc{From: v, To: v ^ bit})
+		}
+		rounds = append(rounds, round)
+	}
+	return gossip.NewFinite(rounds, gossip.FullDuplex)
+}
+
+// PathZigZag returns the classical 4-systolic half-duplex gossip protocol on
+// the path P_n: the period activates odd edges rightward, even edges
+// rightward, odd edges leftward, even edges leftward. Items sweep to the
+// right end and back, completing gossip in Θ(n) rounds (2n + O(1)),
+// within a constant factor of the optimal systolic path protocols of [8].
+func PathZigZag(n int) *gossip.Protocol {
+	right := func(i int) graph.Arc { return graph.Arc{From: i, To: i + 1} }
+	left := func(i int) graph.Arc { return graph.Arc{From: i + 1, To: i} }
+	rounds := make([][]graph.Arc, 4)
+	for i := 0; i+1 < n; i++ {
+		if i%2 == 0 {
+			rounds[0] = append(rounds[0], right(i))
+			rounds[2] = append(rounds[2], left(i))
+		} else {
+			rounds[1] = append(rounds[1], right(i))
+			rounds[3] = append(rounds[3], left(i))
+		}
+	}
+	return gossip.NewSystolic(rounds, gossip.HalfDuplex)
+}
+
+// CycleTwoPhase returns the 2-systolic protocol on the directed cycle C_n
+// (n even) whose two rounds alternately activate the even- and odd-indexed
+// arcs, all oriented forward. Per the s=2 remark of Section 4, A₁ ∪ A₂ of
+// any 2-systolic gossip protocol must form a directed cycle along which
+// items advance at most one arc per step, so gossip needs ≥ n−1 rounds —
+// which this protocol attains up to a constant. Odd cycles are rejected:
+// the arcs of an odd directed cycle cannot be split into two matchings.
+func CycleTwoPhase(n int) *gossip.Protocol {
+	if n < 4 || n%2 != 0 {
+		panic(fmt.Sprintf("protocols: CycleTwoPhase needs even n ≥ 4, got %d", n))
+	}
+	rounds := make([][]graph.Arc, 2)
+	for i := 0; i < n; i++ {
+		a := graph.Arc{From: i, To: (i + 1) % n}
+		rounds[i%2] = append(rounds[i%2], a)
+	}
+	return gossip.NewSystolic(rounds, gossip.Directed)
+}
+
+// WrappedButterflyLevels returns a D-systolic full-duplex protocol on the
+// undirected WBF(d,D) with d=2: round i pairs each vertex at level
+// i mod D with its "straight" neighbor at the next level (β keeping the
+// digit) — one of the natural level-synchronized butterfly schedules. For
+// d=2 a second phase pairs the "cross" neighbors, giving a 2D-systolic
+// protocol that completes gossip.
+func WrappedButterflyLevels(wbf *topology.WrappedButterfly) *gossip.Protocol {
+	if wbf.Directed() {
+		panic("protocols: WrappedButterflyLevels needs the undirected WBF")
+	}
+	D, d := wbf.D, wbf.Deg()
+	var rounds [][]graph.Arc
+	for phase := 1; phase <= d; phase++ {
+		for l := 0; l < D; l++ {
+			lp := ((l-1)%D + D) % D
+			var round []graph.Arc
+			for v := 0; v < wbf.G.N(); v++ {
+				x, lv := wbf.Label(v)
+				if lv != l {
+					continue
+				}
+				y := x.Clone()
+				y[lp] = (x[lp] + phase) % d // phase == d keeps the digit: straight edge
+				u := wbf.ID(y, lp)
+				round = append(round, graph.Arc{From: v, To: u}, graph.Arc{From: u, To: v})
+			}
+			rounds = append(rounds, dedupeArcs(round))
+		}
+	}
+	return gossip.NewSystolic(rounds, gossip.FullDuplex)
+}
+
+// WrappedButterflyDirectedLevels returns a (D·d)-systolic protocol on the
+// directed WBF→(d,D): phase β, level l activates, for every vertex (x, l),
+// the single out-arc that rewrites the next-level digit to x[l'] + β
+// (mod d). Each round is a perfect matching between consecutive levels, and
+// items spiral down through the wrap until gossip completes.
+func WrappedButterflyDirectedLevels(wbf *topology.WrappedButterfly) *gossip.Protocol {
+	if !wbf.Directed() {
+		panic("protocols: WrappedButterflyDirectedLevels needs the directed WBF")
+	}
+	D, d := wbf.D, wbf.Deg()
+	var rounds [][]graph.Arc
+	for phase := 1; phase <= d; phase++ {
+		for l := 0; l < D; l++ {
+			lp := ((l-1)%D + D) % D
+			var round []graph.Arc
+			for v := 0; v < wbf.G.N(); v++ {
+				x, lv := wbf.Label(v)
+				if lv != l {
+					continue
+				}
+				y := x.Clone()
+				y[lp] = (x[lp] + phase) % d
+				round = append(round, graph.Arc{From: v, To: wbf.ID(y, lp)})
+			}
+			rounds = append(rounds, round)
+		}
+	}
+	return gossip.NewSystolic(rounds, gossip.Directed)
+}
+
+func dedupeArcs(round []graph.Arc) []graph.Arc {
+	seen := make(map[graph.Arc]struct{}, len(round))
+	out := round[:0]
+	for _, a := range round {
+		if _, ok := seen[a]; ok {
+			continue
+		}
+		seen[a] = struct{}{}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+// Package search computes exact optimal gossip times on small instances by
+// exhaustive search over round schedules. It complements the heuristic
+// protocols: on instances small enough to search, the paper's lower bounds
+// can be compared against the *true* optimum instead of an upper-bound
+// heuristic. Both unrestricted (non-systolic) and s-systolic optima are
+// supported.
+package search
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/gossip"
+	"repro/internal/graph"
+)
+
+// maxSearchN bounds the instance size: states are n words of n bits and the
+// schedule tree is exponential, so exhaustive search is for tiny networks.
+const maxSearchN = 8
+
+// Rounds enumerates every maximal-or-smaller activation a search may use in
+// one round. For Directed/HalfDuplex these are the matchings of the arc
+// set; for FullDuplex, the matchings of the undirected edge set with both
+// orientations activated. Only *maximal* matchings are enumerated: adding
+// an arc to a round never hurts (knowledge is monotone), so an optimal
+// schedule using a non-maximal round also exists with a maximal one.
+func Rounds(g *graph.Digraph, mode gossip.Mode) [][]graph.Arc {
+	if g.N() > maxSearchN {
+		panic(fmt.Sprintf("search: instance too large (n=%d > %d)", g.N(), maxSearchN))
+	}
+	var units [][]graph.Arc // activation units: single arcs or opposite pairs
+	switch mode {
+	case gossip.FullDuplex:
+		for _, e := range g.Edges() {
+			units = append(units, []graph.Arc{e, {From: e.To, To: e.From}})
+		}
+	default:
+		for _, a := range g.Arcs() {
+			units = append(units, []graph.Arc{a})
+		}
+	}
+	var rounds [][]graph.Arc
+	seen := make(map[string]struct{})
+	var build func(start int, busy int, cur []graph.Arc)
+	build = func(start int, busy int, cur []graph.Arc) {
+		extended := false
+		for i := start; i < len(units); i++ {
+			mask := 0
+			ok := true
+			for _, a := range units[i] {
+				bit := (1 << a.From) | (1 << a.To)
+				if busy&bit != 0 {
+					ok = false
+					break
+				}
+				mask |= bit
+			}
+			if !ok {
+				continue
+			}
+			extended = true
+			build(i+1, busy|mask, append(cur, units[i]...))
+		}
+		// Also check whether any earlier unit could extend cur: if none can,
+		// cur is maximal.
+		if !extended {
+			maximal := true
+			for i := 0; i < start; i++ {
+				ok := true
+				for _, a := range units[i] {
+					if busy&((1<<a.From)|(1<<a.To)) != 0 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					maximal = false
+					break
+				}
+			}
+			if maximal && len(cur) > 0 {
+				key := roundKey(cur)
+				if _, dup := seen[key]; !dup {
+					seen[key] = struct{}{}
+					rounds = append(rounds, append([]graph.Arc(nil), cur...))
+				}
+			}
+		}
+	}
+	build(0, 0, nil)
+	return rounds
+}
+
+func roundKey(round []graph.Arc) string {
+	arcs := append([]graph.Arc(nil), round...)
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
+		}
+		return arcs[i].To < arcs[j].To
+	})
+	var sb strings.Builder
+	for _, a := range arcs {
+		fmt.Fprintf(&sb, "%d>%d;", a.From, a.To)
+	}
+	return sb.String()
+}
+
+// state is the packed knowledge configuration: word v holds the item set of
+// processor v in its low n bits.
+type state []uint64
+
+func initialState(n int) state {
+	s := make(state, n)
+	for v := 0; v < n; v++ {
+		s[v] = 1 << v
+	}
+	return s
+}
+
+func (s state) complete(n int) bool {
+	full := uint64(1)<<n - 1
+	for _, w := range s {
+		if w != full {
+			return false
+		}
+	}
+	return true
+}
+
+func (s state) apply(round []graph.Arc) state {
+	out := make(state, len(s))
+	copy(out, s)
+	for _, a := range round {
+		out[a.To] |= s[a.From]
+	}
+	return out
+}
+
+func (s state) key() string {
+	var sb strings.Builder
+	for _, w := range s {
+		fmt.Fprintf(&sb, "%x,", w)
+	}
+	return sb.String()
+}
+
+// minRoundsNeeded is the admissible pruning heuristic. Two facts are sound
+// (a single receiver can jump straight to n items, so per-vertex doubling is
+// NOT sound): the maximum count at most doubles per round (a receiver gains
+// at most the sender's count, which is at most the maximum), and the total
+// knowledge at most doubles per round (senders in a matching are distinct,
+// so the summed gains are at most the current total).
+func (s state) minRoundsNeeded(n int) int {
+	maxCount, total := 0, 0
+	for _, w := range s {
+		c := bits.OnesCount64(w)
+		total += c
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	need1 := 0
+	for m := maxCount; m < n; m <<= 1 {
+		need1++
+	}
+	need2 := 0
+	for m := total; m < n*n; m <<= 1 {
+		need2++
+	}
+	if need2 > need1 {
+		return need2
+	}
+	return need1
+}
+
+// OptimalGossipTime returns the exact minimum number of rounds needed to
+// complete gossip on g in the given mode, searched by iterative deepening
+// with memoized states, or an error if maxT rounds do not suffice.
+func OptimalGossipTime(g *graph.Digraph, mode gossip.Mode, maxT int) (int, error) {
+	n := g.N()
+	if n <= 1 {
+		return 0, nil
+	}
+	rounds := Rounds(g, mode)
+	if len(rounds) == 0 {
+		return 0, fmt.Errorf("search: no activations available")
+	}
+	for T := 1; T <= maxT; T++ {
+		visited := make(map[string]int)
+		if dfs(initialState(n), n, T, rounds, visited) {
+			return T, nil
+		}
+	}
+	return 0, fmt.Errorf("search: gossip needs more than %d rounds", maxT)
+}
+
+func dfs(s state, n, remaining int, rounds [][]graph.Arc, visited map[string]int) bool {
+	if s.complete(n) {
+		return true
+	}
+	if remaining <= 0 || s.minRoundsNeeded(n) > remaining {
+		return false
+	}
+	k := s.key()
+	if best, ok := visited[k]; ok && best >= remaining {
+		return false // already failed from this state with ≥ budget
+	}
+	visited[k] = remaining
+	for _, round := range rounds {
+		next := s.apply(round)
+		if dfs(next, n, remaining-1, rounds, visited) {
+			return true
+		}
+	}
+	return false
+}
+
+// OptimalSystolicGossipTime returns the exact minimum completion time over
+// all s-systolic protocols on g (every choice of s rounds from the round
+// catalog, repeated cyclically), up to maxT rounds. The search is
+// exponential in s; intended for s ≤ 3 and tiny graphs.
+func OptimalSystolicGossipTime(g *graph.Digraph, mode gossip.Mode, s, maxT int) (int, error) {
+	n := g.N()
+	if n <= 1 {
+		return 0, nil
+	}
+	if s < 1 {
+		return 0, fmt.Errorf("search: period must be ≥ 1")
+	}
+	rounds := Rounds(g, mode)
+	best := -1
+	idx := make([]int, s)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == s {
+			t := simulatePeriodic(g, rounds, idx, maxT)
+			if t > 0 && (best < 0 || t < best) {
+				best = t
+			}
+			return
+		}
+		for i := range rounds {
+			idx[pos] = i
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	if best < 0 {
+		return 0, fmt.Errorf("search: no %d-systolic protocol completes within %d rounds", s, maxT)
+	}
+	return best, nil
+}
+
+func simulatePeriodic(g *graph.Digraph, rounds [][]graph.Arc, idx []int, maxT int) int {
+	n := g.N()
+	s := initialState(n)
+	for t := 0; t < maxT; t++ {
+		s = s.apply(rounds[idx[t%len(idx)]])
+		if s.complete(n) {
+			return t + 1
+		}
+	}
+	return 0
+}

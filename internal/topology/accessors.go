@@ -1,0 +1,13 @@
+package topology
+
+// Deg returns the degree parameter d of BF(d,D).
+func (b *Butterfly) Deg() int { return b.d }
+
+// Deg returns the degree parameter d of WBF(d,D).
+func (w *WrappedButterfly) Deg() int { return w.d }
+
+// Deg returns the degree parameter d of DB(d,D).
+func (db *DeBruijn) Deg() int { return db.d }
+
+// Deg returns the degree parameter d of K(d,D).
+func (k *Kautz) Deg() int { return k.d }

@@ -1,0 +1,205 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.N() != 5 || g.M() != 8 {
+		t.Errorf("P5: N=%d M=%d", g.N(), g.M())
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("P5 diameter = %d, want 4", g.Diameter())
+	}
+	if !g.IsSymmetric() {
+		t.Error("path not symmetric")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	if g.N() != 6 || g.M() != 12 {
+		t.Errorf("C6: N=%d M=%d", g.N(), g.M())
+	}
+	if g.Diameter() != 3 {
+		t.Errorf("C6 diameter = %d, want 3", g.Diameter())
+	}
+	for v := 0; v < 6; v++ {
+		if g.OutDeg(v) != 2 {
+			t.Errorf("C6 degree at %d = %d", v, g.OutDeg(v))
+		}
+	}
+}
+
+func TestDirectedCycle(t *testing.T) {
+	g := DirectedCycle(5)
+	if g.M() != 5 || !g.IsStronglyConnected() {
+		t.Error("directed cycle wrong")
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("directed C5 diameter = %d, want 4", g.Diameter())
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(5)
+	if g.M() != 20 {
+		t.Errorf("K5 arcs = %d, want 20", g.M())
+	}
+	if g.Diameter() != 1 {
+		t.Errorf("K5 diameter = %d", g.Diameter())
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(2, 3)
+	if g.N() != 5 || g.M() != 12 {
+		t.Errorf("K23: N=%d M=%d", g.N(), g.M())
+	}
+	if g.Diameter() != 2 {
+		t.Errorf("K23 diameter = %d, want 2", g.Diameter())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Errorf("grid N = %d", g.N())
+	}
+	if g.Diameter() != 5 {
+		t.Errorf("3x4 grid diameter = %d, want 5", g.Diameter())
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 4)
+	if g.N() != 16 {
+		t.Errorf("torus N = %d", g.N())
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("4x4 torus diameter = %d, want 4", g.Diameter())
+	}
+	for v := 0; v < 16; v++ {
+		if g.OutDeg(v) != 4 {
+			t.Errorf("torus degree at %d = %d, want 4", v, g.OutDeg(v))
+		}
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 {
+		t.Errorf("Q4 N = %d", g.N())
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("Q4 diameter = %d, want 4", g.Diameter())
+	}
+	for v := 0; v < 16; v++ {
+		if g.OutDeg(v) != 4 {
+			t.Errorf("Q4 degree at %d = %d", v, g.OutDeg(v))
+		}
+	}
+}
+
+func TestCompleteKAryTree(t *testing.T) {
+	g := CompleteKAryTree(2, 3) // 1+2+4+8 = 15 vertices
+	if g.N() != 15 {
+		t.Errorf("tree N = %d, want 15", g.N())
+	}
+	if g.Diameter() != 6 {
+		t.Errorf("tree diameter = %d, want 6", g.Diameter())
+	}
+	leaves := 0
+	for v := 0; v < g.N(); v++ {
+		if g.OutDeg(v) == 1 {
+			leaves++
+		}
+	}
+	if leaves != 8 {
+		t.Errorf("leaves = %d, want 8", leaves)
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(6)
+	if g.OutDeg(0) != 5 || g.Diameter() != 2 {
+		t.Error("star wrong")
+	}
+}
+
+func TestWordCodec(t *testing.T) {
+	w := Word{1, 0, 2} // x2=2, x1=0, x0=1
+	v := WordValue(w, 3)
+	if v != 2*9+0*3+1 {
+		t.Errorf("WordValue = %d", v)
+	}
+	back := ValueWord(v, 3, 3)
+	for i := range w {
+		if back[i] != w[i] {
+			t.Errorf("round trip failed at %d", i)
+		}
+	}
+	if w.String() != "2.0.1" {
+		t.Errorf("String = %q", w.String())
+	}
+}
+
+// TestWordRoundTripProperty: encode/decode round-trips for all values.
+func TestWordRoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		v := int(raw) % 81 // 3^4
+		return WordValue(ValueWord(v, 3, 4), 3) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleExchange(t *testing.T) {
+	g := ShuffleExchange(4)
+	if g.N() != 16 || !g.IsSymmetric() || !g.IsStronglyConnected() {
+		t.Error("SE(4) structure wrong")
+	}
+	// degree at most 3 (exchange + 2 shuffle directions)
+	for v := 0; v < g.N(); v++ {
+		if g.OutDeg(v) > 3 {
+			t.Errorf("SE degree at %d = %d > 3", v, g.OutDeg(v))
+		}
+	}
+}
+
+func TestCCC(t *testing.T) {
+	g := CCC(3)
+	if g.N() != 24 || !g.IsSymmetric() || !g.IsStronglyConnected() {
+		t.Error("CCC(3) structure wrong")
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.OutDeg(v) != 3 {
+			t.Errorf("CCC degree at %d = %d, want 3", v, g.OutDeg(v))
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Cycle(2) },
+		func() { DirectedCycle(1) },
+		func() { Torus(2, 3) },
+		func() { Hypercube(0) },
+		func() { CompleteKAryTree(0, 2) },
+		func() { ShuffleExchange(1) },
+		func() { CCC(2) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,57 @@
+package topology
+
+import "testing"
+
+// TestWrappedButterflyDiameterFormula pins diam(WBF(2,D)) = D + ⌊D/2⌋, the
+// formula behind the 1.5/log₂(d) diameter coefficient used by Fig. 6.
+func TestWrappedButterflyDiameterFormula(t *testing.T) {
+	for D := 2; D <= 6; D++ {
+		w := NewWrappedButterfly(2, D)
+		if got, want := w.G.Diameter(), D+D/2; got != want {
+			t.Errorf("WBF(2,%d) diameter = %d, want %d", D, got, want)
+		}
+	}
+}
+
+// TestWrappedButterflyDirectedDiameterFormula pins diam(WBF→(2,D)) = 2D−1.
+func TestWrappedButterflyDirectedDiameterFormula(t *testing.T) {
+	for D := 2; D <= 6; D++ {
+		w := NewWrappedButterflyDigraph(2, D)
+		if got, want := w.G.Diameter(), 2*D-1; got != want {
+			t.Errorf("WBF->(2,%d) diameter = %d, want %d", D, got, want)
+		}
+	}
+}
+
+// TestKautzDiameterFormula pins diam(K(2,D)) = D in both orientations.
+func TestKautzDiameterFormula(t *testing.T) {
+	for D := 2; D <= 6; D++ {
+		if got := NewKautzDigraph(2, D).G.Diameter(); got != D {
+			t.Errorf("K->(2,%d) diameter = %d, want %d", D, got, D)
+		}
+		if got := NewKautz(2, D).G.Diameter(); got != D {
+			t.Errorf("K(2,%d) diameter = %d, want %d", D, got, D)
+		}
+	}
+}
+
+// TestDeBruijnDiameterFormula pins diam(DB(d,D)) = D for the digraph.
+func TestDeBruijnDiameterFormula(t *testing.T) {
+	for D := 2; D <= 7; D++ {
+		if got := NewDeBruijnDigraph(2, D).G.Diameter(); got != D {
+			t.Errorf("DB->(2,%d) diameter = %d, want %d", D, got, D)
+		}
+	}
+	if got := NewDeBruijnDigraph(3, 4).G.Diameter(); got != 4 {
+		t.Errorf("DB->(3,4) diameter = %d, want 4", got)
+	}
+}
+
+// TestButterflyDiameterFormula pins diam(BF(2,D)) = 2D.
+func TestButterflyDiameterFormula(t *testing.T) {
+	for D := 2; D <= 5; D++ {
+		if got := NewButterfly(2, D).G.Diameter(); got != 2*D {
+			t.Errorf("BF(2,%d) diameter = %d, want %d", D, got, 2*D)
+		}
+	}
+}

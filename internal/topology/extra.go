@@ -1,0 +1,52 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ShuffleExchange returns the undirected shuffle-exchange network SE(D) on
+// 2^D vertices: exchange edges {x, x⊕1} and shuffle edges {x, rotLeft(x)}
+// (self-loops at the two constant words omitted, parallel shuffle/exchange
+// edges merged).
+func ShuffleExchange(D int) *graph.Digraph {
+	if D < 2 {
+		panic(fmt.Sprintf("topology: shuffle-exchange needs D ≥ 2, got %d", D))
+	}
+	n := pow(2, D)
+	g := graph.New(n)
+	addOnce := func(u, v int) {
+		if u != v && !g.HasArc(u, v) {
+			g.AddArc(u, v)
+			g.AddArc(v, u)
+		}
+	}
+	for v := 0; v < n; v++ {
+		addOnce(v, v^1)
+		rot := ((v << 1) | (v >> (D - 1))) & (n - 1)
+		addOnce(v, rot)
+	}
+	return g
+}
+
+// CCC returns the cube-connected-cycles network CCC(D) on D·2^D vertices:
+// vertex (w, i) has cycle edges to (w, i±1 mod D) and a cube edge to
+// (w ⊕ 2^i, i). Requires D ≥ 3 so that the cycles are simple.
+func CCC(D int) *graph.Digraph {
+	if D < 3 {
+		panic(fmt.Sprintf("topology: CCC needs D ≥ 3, got %d", D))
+	}
+	n := D * pow(2, D)
+	g := graph.New(n)
+	id := func(w, i int) int { return i*pow(2, D) + w }
+	for w := 0; w < pow(2, D); w++ {
+		for i := 0; i < D; i++ {
+			g.AddEdge(id(w, i), id(w, (i+1)%D))
+			if w < w^(1<<i) {
+				g.AddEdge(id(w, i), id(w^(1<<i), i))
+			}
+		}
+	}
+	return g
+}

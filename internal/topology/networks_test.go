@@ -1,0 +1,225 @@
+package topology
+
+import "testing"
+
+func TestButterflyStructure(t *testing.T) {
+	bf := NewButterfly(2, 3)
+	// n = (D+1)·d^D = 4·8 = 32
+	if bf.G.N() != 32 {
+		t.Fatalf("BF(2,3) N = %d, want 32", bf.G.N())
+	}
+	if !bf.G.IsSymmetric() {
+		t.Error("BF should be symmetric (pairwise opposite arcs)")
+	}
+	// Interior levels have degree 2d = 4, boundary levels d = 2.
+	for v := 0; v < bf.G.N(); v++ {
+		_, l := bf.Label(v)
+		want := 2 * 2
+		if l == 0 || l == 3 {
+			want = 2
+		}
+		if bf.G.OutDeg(v) != want {
+			t.Errorf("BF degree at level %d = %d, want %d", l, bf.G.OutDeg(v), want)
+		}
+	}
+	// Diameter of BF(2,D) is 2D.
+	if d := bf.G.Diameter(); d != 6 {
+		t.Errorf("BF(2,3) diameter = %d, want 6", d)
+	}
+}
+
+func TestButterflyLabelRoundTrip(t *testing.T) {
+	bf := NewButterfly(3, 2)
+	for v := 0; v < bf.G.N(); v++ {
+		x, l := bf.Label(v)
+		if bf.ID(x, l) != v {
+			t.Fatalf("label round trip failed at %d", v)
+		}
+	}
+}
+
+func TestWrappedButterflyDirected(t *testing.T) {
+	w := NewWrappedButterflyDigraph(2, 3)
+	// n = D·d^D = 3·8 = 24, out-degree d = 2 everywhere.
+	if w.G.N() != 24 {
+		t.Fatalf("WBF->(2,3) N = %d, want 24", w.G.N())
+	}
+	for v := 0; v < w.G.N(); v++ {
+		if w.G.OutDeg(v) != 2 {
+			t.Errorf("out-degree at %d = %d, want 2", v, w.G.OutDeg(v))
+		}
+	}
+	if !w.G.IsStronglyConnected() {
+		t.Error("WBF-> should be strongly connected")
+	}
+	if w.G.IsSymmetric() {
+		t.Error("directed WBF should not be symmetric")
+	}
+	if !w.Directed() {
+		t.Error("Directed() should be true")
+	}
+}
+
+func TestWrappedButterflyUndirected(t *testing.T) {
+	w := NewWrappedButterfly(2, 3)
+	if w.G.N() != 24 || !w.G.IsSymmetric() || !w.G.IsStronglyConnected() {
+		t.Error("WBF(2,3) structure wrong")
+	}
+	// Undirected degree 2d = 4 (d down-arcs + d up-arcs).
+	for v := 0; v < w.G.N(); v++ {
+		if w.G.OutDeg(v) != 4 {
+			t.Errorf("degree at %d = %d, want 4", v, w.G.OutDeg(v))
+		}
+	}
+}
+
+func TestWrappedButterflyArcSemantics(t *testing.T) {
+	w := NewWrappedButterflyDigraph(2, 3)
+	// (x, l) -> (y, l-1 mod D) with y differing from x only at position
+	// (l-1 mod D).
+	for v := 0; v < w.G.N(); v++ {
+		x, l := w.Label(v)
+		lp := ((l-1)%3 + 3) % 3
+		for _, u := range w.G.Out(v) {
+			y, lu := w.Label(u)
+			if lu != lp {
+				t.Fatalf("arc from level %d goes to level %d, want %d", l, lu, lp)
+			}
+			for i := range x {
+				if i != lp && x[i] != y[i] {
+					t.Fatalf("arc changed digit %d (levels %d->%d)", i, l, lu)
+				}
+			}
+		}
+	}
+}
+
+func TestWrappedButterflyD2(t *testing.T) {
+	// D=2 exercises the wrap collisions that once made duplicate arcs.
+	w := NewWrappedButterfly(2, 2)
+	if w.G.N() != 8 || !w.G.IsSymmetric() {
+		t.Error("WBF(2,2) wrong")
+	}
+}
+
+func TestDeBruijnStructure(t *testing.T) {
+	db := NewDeBruijnDigraph(2, 4)
+	if db.G.N() != 16 {
+		t.Fatalf("DB(2,4) N = %d, want 16", db.G.N())
+	}
+	if !db.G.IsStronglyConnected() {
+		t.Error("DB-> should be strongly connected")
+	}
+	// Out-degree d except at the d constant words (self-loop omitted) and
+	// words whose two successors coincide.
+	for v := 0; v < db.G.N(); v++ {
+		if d := db.G.OutDeg(v); d > 2 || d < 1 {
+			t.Errorf("out-degree at %d = %d", v, d)
+		}
+	}
+	// Diameter of DB(d,D) is D (shift in any word in D steps).
+	if d := db.G.Diameter(); d != 4 {
+		t.Errorf("DB(2,4) diameter = %d, want 4", d)
+	}
+}
+
+func TestDeBruijnArcSemantics(t *testing.T) {
+	db := NewDeBruijnDigraph(2, 3)
+	// Every arc must be a shift: y_i = x_{i-1} for i ≥ 1.
+	for v := 0; v < db.G.N(); v++ {
+		x := db.Label(v)
+		for _, u := range db.G.Out(v) {
+			y := db.Label(u)
+			for i := 1; i < 3; i++ {
+				if y[i] != x[i-1] {
+					t.Fatalf("arc %v -> %v is not a shift", x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestDeBruijnUndirected(t *testing.T) {
+	db := NewDeBruijn(2, 4)
+	if !db.G.IsSymmetric() || !db.G.IsStronglyConnected() {
+		t.Error("undirected DB wrong")
+	}
+	if db.Directed() {
+		t.Error("Directed() should be false")
+	}
+}
+
+func TestKautzStructure(t *testing.T) {
+	k := NewKautzDigraph(2, 3)
+	// n = (d+1)·d^(D-1) = 3·4 = 12.
+	if k.N() != 12 || k.G.N() != 12 {
+		t.Fatalf("K(2,3) N = %d, want 12", k.N())
+	}
+	// Kautz digraphs are d-regular with no self-loops.
+	for v := 0; v < k.G.N(); v++ {
+		if k.G.OutDeg(v) != 2 {
+			t.Errorf("out-degree at %d = %d, want 2", v, k.G.OutDeg(v))
+		}
+	}
+	if !k.G.IsStronglyConnected() {
+		t.Error("Kautz should be strongly connected")
+	}
+	// Diameter of K(d,D) is D.
+	if d := k.G.Diameter(); d != 3 {
+		t.Errorf("K(2,3) diameter = %d, want 3", d)
+	}
+}
+
+func TestKautzWordsValid(t *testing.T) {
+	k := NewKautzDigraph(2, 4)
+	for v := 0; v < k.N(); v++ {
+		x := k.Label(v)
+		for i := 0; i+1 < len(x); i++ {
+			if x[i] == x[i+1] {
+				t.Fatalf("Kautz word %v has adjacent equal digits", x)
+			}
+		}
+		if k.ID(x) != v {
+			t.Fatalf("Kautz label round trip failed at %d", v)
+		}
+	}
+	if k.ID(Word{0, 0, 0, 0}) != -1 {
+		t.Error("invalid word should have no id")
+	}
+}
+
+func TestKautzUndirected(t *testing.T) {
+	k := NewKautz(2, 3)
+	if !k.G.IsSymmetric() || !k.G.IsStronglyConnected() {
+		t.Error("undirected Kautz wrong")
+	}
+}
+
+func TestDegAccessors(t *testing.T) {
+	if NewButterfly(3, 2).Deg() != 3 ||
+		NewWrappedButterfly(2, 3).Deg() != 2 ||
+		NewDeBruijn(2, 3).Deg() != 2 ||
+		NewKautz(2, 3).Deg() != 2 {
+		t.Error("Deg accessors wrong")
+	}
+}
+
+func TestButterflySizesAcrossD(t *testing.T) {
+	for D := 1; D <= 4; D++ {
+		bf := NewButterfly(2, D)
+		want := (D + 1) * pow(2, D)
+		if bf.G.N() != want {
+			t.Errorf("BF(2,%d) N = %d, want %d", D, bf.G.N(), want)
+		}
+	}
+}
+
+func TestKautzSizesAcrossD(t *testing.T) {
+	for D := 2; D <= 5; D++ {
+		k := NewKautzDigraph(2, D)
+		want := 3 * pow(2, D-1)
+		if k.N() != want {
+			t.Errorf("K(2,%d) N = %d, want %d", D, k.N(), want)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package topology generates the interconnection networks studied by the
+// paper — Butterfly BF(d,D), Wrapped Butterfly WBF(d,D) (directed and
+// undirected), de Bruijn DB(d,D), Kautz K(d,D) — plus the classical networks
+// used as simulation substrates and baselines (paths, cycles, complete
+// graphs, grids, tori, hypercubes, complete d-ary trees, shuffle-exchange,
+// cube-connected cycles).
+//
+// All generators return *graph.Digraph instances on vertices 0..n-1 together
+// with label codecs mapping vertex ids to the structured labels of the paper
+// (digit strings and levels). Digits are 0-based (the paper uses {1,…,d};
+// the relabeling is an isomorphism).
+package topology
+
+import "fmt"
+
+// Word is a digit string x_{D-1} x_{D-2} … x_1 x_0; index i holds digit x_i,
+// so Word[0] is the least-significant (rightmost) digit of the paper's
+// notation.
+type Word []int
+
+// WordValue encodes w in base d: Σ w[i]·d^i.
+func WordValue(w Word, d int) int {
+	v := 0
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] < 0 || w[i] >= d {
+			panic(fmt.Sprintf("topology: digit %d out of range base %d", w[i], d))
+		}
+		v = v*d + w[i]
+	}
+	return v
+}
+
+// ValueWord decodes v into a D-digit base-d word.
+func ValueWord(v, d, D int) Word {
+	if v < 0 {
+		panic("topology: negative word value")
+	}
+	w := make(Word, D)
+	for i := 0; i < D; i++ {
+		w[i] = v % d
+		v /= d
+	}
+	if v != 0 {
+		panic(fmt.Sprintf("topology: value does not fit in %d base-%d digits", D, d))
+	}
+	return w
+}
+
+// Clone returns a copy of w.
+func (w Word) Clone() Word {
+	c := make(Word, len(w))
+	copy(c, w)
+	return c
+}
+
+// String renders w most-significant digit first, matching the paper's
+// x_{D-1} x_{D-2} … x_0 convention.
+func (w Word) String() string {
+	b := make([]byte, 0, 2*len(w))
+	for i := len(w) - 1; i >= 0; i-- {
+		if i < len(w)-1 {
+			b = append(b, '.')
+		}
+		b = append(b, []byte(fmt.Sprint(w[i]))...)
+	}
+	return string(b)
+}
+
+// pow returns d^e for small non-negative integers, panicking on overflow
+// beyond the int range used by the generators.
+func pow(d, e int) int {
+	if e < 0 {
+		panic("topology: negative exponent")
+	}
+	v := 1
+	for i := 0; i < e; i++ {
+		nv := v * d
+		if d != 0 && nv/d != v {
+			panic("topology: size overflow")
+		}
+		v = nv
+	}
+	return v
+}
