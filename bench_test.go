@@ -8,10 +8,10 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/bounds"
-	"repro/internal/core"
 	"repro/internal/delay"
 	"repro/internal/gossip"
 	"repro/internal/matrix"
@@ -19,6 +19,7 @@ import (
 	"repro/internal/search"
 	"repro/internal/separator"
 	"repro/internal/topology"
+	"repro/systolic"
 )
 
 // BenchmarkFig4GeneralLowerBound regenerates the general e(s) table
@@ -160,14 +161,15 @@ func BenchmarkS2SystolicCycle(b *testing.B) {
 // BenchmarkUpperVsLowerDeBruijn runs the full analysis pipeline (simulate +
 // delay digraph + theorem checks) on DB(2,5).
 func BenchmarkUpperVsLowerDeBruijn(b *testing.B) {
-	net, err := core.NewNetwork("debruijn", 2, 5)
+	net, err := systolic.New("debruijn", systolic.Degree(2), systolic.Diameter(5))
 	if err != nil {
 		b.Fatal(err)
 	}
 	p := protocols.PeriodicHalfDuplex(net.G)
-	var rep *core.Report
+	ctx := context.Background()
+	var rep *systolic.Report
 	for i := 0; i < b.N; i++ {
-		rep, err = core.Analyze(net, p, 100000)
+		rep, err = systolic.Analyze(ctx, net, p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,14 +181,15 @@ func BenchmarkUpperVsLowerDeBruijn(b *testing.B) {
 // BenchmarkUpperVsLowerWBF does the same on the Wrapped Butterfly, the
 // paper's flagship example.
 func BenchmarkUpperVsLowerWBF(b *testing.B) {
-	net, err := core.NewNetwork("wbf", 2, 4)
+	net, err := systolic.New("wbf", systolic.Degree(2), systolic.Diameter(4))
 	if err != nil {
 		b.Fatal(err)
 	}
 	p := protocols.PeriodicHalfDuplex(net.G)
-	var rep *core.Report
+	ctx := context.Background()
+	var rep *systolic.Report
 	for i := 0; i < b.N; i++ {
-		rep, err = core.Analyze(net, p, 200000)
+		rep, err = systolic.Analyze(ctx, net, p, systolic.WithRoundBudget(200000))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,19 +202,64 @@ func BenchmarkUpperVsLowerWBF(b *testing.B) {
 // dimension-exchange protocol against the full-duplex bound.
 func BenchmarkUpperVsLowerHypercubeFullDuplex(b *testing.B) {
 	const D = 7
-	net, err := core.NewNetwork("hypercube", D, 0)
+	net, err := systolic.New("hypercube", systolic.Dimension(D))
 	if err != nil {
 		b.Fatal(err)
 	}
 	p := protocols.HypercubeExchange(D)
-	var rep *core.Report
+	ctx := context.Background()
+	var rep *systolic.Report
 	for i := 0; i < b.N; i++ {
-		rep, err = core.Analyze(net, p, 1000)
+		rep, err = systolic.Analyze(ctx, net, p, systolic.WithRoundBudget(1000))
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(rep.Measured), "measured_rounds")
+}
+
+// BenchmarkSweepReproduceGrid runs the cmd/reproduce upper-vs-lower grid
+// through the parallel Sweep engine (GOMAXPROCS workers, deterministic
+// result order) — the workload that replaced the old serial loop.
+func BenchmarkSweepReproduceGrid(b *testing.B) {
+	jobs := []systolic.SweepJob{
+		{Label: "db-periodic", Kind: "debruijn",
+			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(5)},
+			Protocol: systolic.UseProtocol("periodic-half", 0)},
+		{Label: "wbf-periodic", Kind: "wbf",
+			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(4)},
+			Protocol: systolic.UseProtocol("periodic-half", 0)},
+		{Label: "kautz-full", Kind: "kautz",
+			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(4)},
+			Protocol: systolic.UseProtocol("periodic-full", 0)},
+		{Label: "bf-full", Kind: "butterfly",
+			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(3)},
+			Protocol: systolic.UseProtocol("periodic-full", 0)},
+		{Label: "q6-exchange", Kind: "hypercube",
+			Params:   []systolic.Param{systolic.Dimension(6)},
+			Protocol: systolic.UseProtocol("hypercube", 0)},
+		{Label: "db-greedy", Kind: "debruijn",
+			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(5)},
+			Protocol: systolic.UseProtocol("greedy-half", 100000)},
+	}
+	ctx := context.Background()
+	var ok int
+	for i := 0; i < b.N; i++ {
+		results, err := systolic.Sweep(ctx, jobs, systolic.WithRoundBudget(200000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok = 0
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			if r.Report.Measured >= r.Report.LowerBound.Rounds && r.Report.TheoremRespected {
+				ok++
+			}
+		}
+	}
+	b.ReportMetric(float64(ok), "cells_ok")
 }
 
 // BenchmarkSimulationEngine measures raw simulator throughput: periodic
@@ -318,13 +366,14 @@ func BenchmarkExtractLocal(b *testing.B) {
 
 // BenchmarkBroadcastUpperVsLower measures the broadcast pipeline on WBF(2,5).
 func BenchmarkBroadcastUpperVsLower(b *testing.B) {
-	net, err := core.NewNetwork("wbf", 2, 5)
+	net, err := systolic.New("wbf", systolic.Degree(2), systolic.Diameter(5))
 	if err != nil {
 		b.Fatal(err)
 	}
-	var rep *core.BroadcastReport
+	ctx := context.Background()
+	var rep *systolic.BroadcastReport
 	for i := 0; i < b.N; i++ {
-		rep, err = core.AnalyzeBroadcast(net, 0, 100000)
+		rep, err = systolic.AnalyzeBroadcast(ctx, net, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -18,8 +18,8 @@ import (
 	"strings"
 
 	"repro/internal/delay"
-	"repro/internal/gossip"
 	"repro/internal/matrix"
+	"repro/systolic"
 )
 
 func main() {
@@ -92,7 +92,7 @@ func runExtract(path string, n int, lambda float64) error {
 		return err
 	}
 	defer f.Close()
-	p, err := gossip.Decode(f)
+	p, err := systolic.LoadProtocol(f)
 	if err != nil {
 		return err
 	}

@@ -1,5 +1,5 @@
 // Command gossiplb regenerates the lower-bound tables of the paper
-// (Figs. 4, 5, 6 and 8) from the solvers in internal/bounds.
+// (Figs. 4, 5, 6 and 8) through the public systolic API.
 //
 // Usage:
 //
@@ -16,7 +16,7 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/bounds"
+	"repro/systolic"
 )
 
 func main() {
@@ -37,18 +37,18 @@ func main() {
 	switch *figure {
 	case 4:
 		fmt.Println("Fig. 4 — general lower bound, directed & half-duplex: t ≥ e(s)·log2(n) − O(log log n)")
-		fmt.Print(bounds.FormatFig4(bounds.Fig4(ps)))
+		fmt.Print(systolic.FormatFig4(systolic.Fig4(ps)))
 	case 5:
 		sys := withoutInfinity(ps)
 		fmt.Println("Fig. 5 — systolic lower bounds for specific networks, half-duplex: t ≥ e(s)·log2(n)·(1−o(1))")
-		fmt.Print(bounds.FormatTopologyTable(bounds.Fig5(ds, sys), sys))
+		fmt.Print(systolic.FormatTopologyTable(systolic.Fig5(ds, sys), sys))
 	case 6:
 		fmt.Println("Fig. 6 — non-systolic lower bounds for specific networks, half-duplex (coefficients of log2(n))")
-		inf := []int{bounds.SInfinity}
-		fmt.Print(bounds.FormatTopologyTable(bounds.Fig6(ds), inf))
+		inf := []int{systolic.NonSystolic}
+		fmt.Print(systolic.FormatTopologyTable(systolic.Fig6(ds), inf))
 	case 8:
 		fmt.Println("Fig. 8 — full-duplex lower bounds: t ≥ e(s)·log2(n)·(1−o(1))")
-		fmt.Print(bounds.FormatTopologyTable(bounds.Fig8(ds, ps), ps))
+		fmt.Print(systolic.FormatTopologyTable(systolic.Fig8(ds, ps), ps))
 	default:
 		fatalf("unknown figure %d (choose 4, 5, 6 or 8)", *figure)
 	}
@@ -76,7 +76,7 @@ func parseInts(s string) ([]int, error) {
 func withoutInfinity(ps []int) []int {
 	var out []int
 	for _, p := range ps {
-		if p != bounds.SInfinity {
+		if p != systolic.NonSystolic {
 			out = append(out, p)
 		}
 	}

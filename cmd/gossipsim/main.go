@@ -1,56 +1,94 @@
-// Command gossipsim builds a topology and a gossip protocol, simulates the
-// protocol to completion, and reports the measured time against the paper's
-// lower bound (the upper-vs-lower comparison of the evaluation).
+// Command gossipsim builds a topology and a gossip protocol through the
+// public systolic API, simulates the protocol to completion, and reports
+// the measured time against the paper's lower bound (the upper-vs-lower
+// comparison of the evaluation).
 //
-// Usage:
+// Topology parameters are named; only the ones the chosen kind requires
+// are used (systolic.Lookup reports which):
 //
-//	gossipsim -topology debruijn -a 2 -b 5 -protocol periodic-half
-//	gossipsim -topology hypercube -a 6 -protocol hypercube
-//	gossipsim -topology wbf -a 2 -b 4 -protocol periodic-full
-//	gossipsim -topology path -a 32 -protocol zigzag
-//	gossipsim -topology kautz -a 2 -b 5 -protocol greedy-half
+//	gossipsim -topology debruijn -degree 2 -diameter 5 -protocol periodic-half
+//	gossipsim -topology hypercube -dimension 6 -protocol hypercube
+//	gossipsim -topology wbf -degree 2 -diameter 4 -protocol periodic-full
+//	gossipsim -topology path -nodes 32 -protocol zigzag
+//	gossipsim -topology grid -rows 4 -cols 5 -protocol greedy-half
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/gossip"
-	"repro/internal/protocols"
+	"repro/systolic"
 )
 
 func main() {
 	topo := flag.String("topology", "debruijn", "network kind (see error message for list)")
-	a := flag.Int("a", 2, "first topology parameter (n, D, d or rows depending on kind)")
-	b := flag.Int("b", 4, "second topology parameter (D, depth or cols; ignored when unused)")
-	proto := flag.String("protocol", "periodic-half", "protocol: periodic-half, periodic-full, periodic-interleaved, round-robin, greedy-half, greedy-directed, greedy-full, hypercube, doubling, zigzag, cycle2")
+	nodes := flag.Int("nodes", 16, "vertex count n (path, cycle, complete)")
+	degree := flag.Int("degree", 2, "degree parameter d (paper families, tree)")
+	diameter := flag.Int("diameter", 4, "diameter parameter D (paper families)")
+	dimension := flag.Int("dimension", 4, "dimension D (hypercube, shuffle-exchange, ccc)")
+	rows := flag.Int("rows", 4, "grid/torus rows")
+	cols := flag.Int("cols", 4, "grid/torus cols")
+	depth := flag.Int("depth", 3, "tree depth")
+	proto := flag.String("protocol", "periodic-half", "protocol: "+strings.Join(systolic.ProtocolKinds(), ", "))
 	budget := flag.Int("budget", 100000, "maximum simulated rounds")
 	load := flag.String("load", "", "load the protocol from a schedule file instead of -protocol")
 	save := flag.String("save", "", "write the constructed protocol to a schedule file")
 	trace := flag.Bool("trace", false, "print the per-round dissemination curve")
 	flag.Parse()
 
-	net, err := core.NewNetwork(*topo, *a, *b)
+	// Map the named flags onto the parameters the chosen kind requires.
+	flagFor := map[string]*int{
+		systolic.ParamNodes:     nodes,
+		systolic.ParamDegree:    degree,
+		systolic.ParamDiameter:  diameter,
+		systolic.ParamDimension: dimension,
+		systolic.ParamRows:      rows,
+		systolic.ParamCols:      cols,
+		systolic.ParamDepth:     depth,
+	}
+	paramFor := map[string]func(int) systolic.Param{
+		systolic.ParamNodes:     systolic.Nodes,
+		systolic.ParamDegree:    systolic.Degree,
+		systolic.ParamDiameter:  systolic.Diameter,
+		systolic.ParamDimension: systolic.Dimension,
+		systolic.ParamRows:      systolic.Rows,
+		systolic.ParamCols:      systolic.Cols,
+		systolic.ParamDepth:     systolic.Depth,
+	}
+	t, ok := systolic.Lookup(*topo)
+	if !ok {
+		fatalf("unknown topology %q (accepted: %s)", *topo, strings.Join(systolic.Kinds(), ", "))
+	}
+	var params []systolic.Param
+	for _, name := range t.ParamNames() {
+		ctor, fv := paramFor[name], flagFor[name]
+		if ctor == nil || fv == nil {
+			fatalf("topology %q requires parameter %q, which this CLI has no flag for", *topo, name)
+		}
+		params = append(params, ctor(*fv))
+	}
+	net, err := systolic.New(*topo, params...)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	var p *gossip.Protocol
+	var p *systolic.Protocol
 	if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		p, err = gossip.Decode(f)
+		p, err = systolic.LoadProtocol(f)
 		f.Close()
 		if err != nil {
 			fatalf("loading %s: %v", *load, err)
 		}
 		*proto = "loaded:" + *load
 	} else {
-		p, err = buildProtocol(*proto, net, *budget)
+		p, err = systolic.NewProtocol(*proto, net, *budget)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -60,24 +98,28 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if err := p.Encode(f); err != nil {
+		if err := systolic.SaveProtocol(f, p); err != nil {
 			fatalf("saving: %v", err)
 		}
 		if err := f.Close(); err != nil {
 			fatalf("saving: %v", err)
 		}
 	}
+
+	opts := []systolic.Option{systolic.WithRoundBudget(*budget)}
+	var curve []int
 	if *trace {
-		tr, err := gossip.TraceGossip(net.G, p, *budget)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Printf("trace:      %s\n", tr)
+		opts = append(opts, systolic.WithTrace(systolic.ObserverFunc(func(_, knowledge, _ int) {
+			curve = append(curve, knowledge)
+		})))
 	}
 
-	rep, err := core.Analyze(net, p, *budget)
+	rep, err := systolic.Analyze(context.Background(), net, p, opts...)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *trace {
+		fmt.Printf("trace:      knowledge per round %v (target %d)\n", curve, net.G.N()*net.G.N())
 	}
 	fmt.Printf("network:    %s (n=%d, arcs=%d)\n", net.Name, net.G.N(), net.G.M())
 	fmt.Printf("protocol:   %s (%v mode, period %d)\n", *proto, p.Mode, p.Period)
@@ -86,39 +128,6 @@ func main() {
 	fmt.Printf("delay DG:   %d activations, %d delay arcs, ‖M(λ₀)‖ = %.4f\n",
 		rep.DelayVerts, rep.DelayArcs, rep.NormAtRoot)
 	fmt.Printf("Theorem 4.1 respected: %v\n", rep.TheoremRespected)
-}
-
-func buildProtocol(kind string, net *core.Network, budget int) (*gossip.Protocol, error) {
-	switch kind {
-	case "periodic-half":
-		return protocols.PeriodicHalfDuplex(net.G), nil
-	case "periodic-full":
-		return protocols.PeriodicFullDuplex(net.G), nil
-	case "periodic-interleaved":
-		return protocols.PeriodicInterleavedHalfDuplex(net.G), nil
-	case "round-robin":
-		return protocols.RoundRobinDirected(net.G), nil
-	case "greedy-half":
-		return protocols.GreedyGossip(net.G, gossip.HalfDuplex, budget)
-	case "greedy-directed":
-		return protocols.GreedyGossip(net.G, gossip.Directed, budget)
-	case "greedy-full":
-		return protocols.GreedyGossipFullDuplex(net.G, budget)
-	case "hypercube":
-		D := 0
-		for n := net.G.N(); n > 1; n >>= 1 {
-			D++
-		}
-		return protocols.HypercubeExchange(D), nil
-	case "doubling":
-		return protocols.CompleteDoubling(net.G.N()), nil
-	case "zigzag":
-		return protocols.PathZigZag(net.G.N()), nil
-	case "cycle2":
-		return protocols.CycleTwoPhase(net.G.N()), nil
-	default:
-		return nil, fmt.Errorf("unknown protocol %q", kind)
-	}
 }
 
 func fatalf(format string, args ...any) {

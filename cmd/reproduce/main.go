@@ -1,21 +1,22 @@
 // Command reproduce is the one-shot reproduction driver: it regenerates all
 // four numeric tables (Figs. 4, 5, 6, 8), checks every in-text golden value,
 // verifies the Lemma 3.1 separators by BFS (including the literal-vs-marker
-// de Bruijn finding), and runs the upper-vs-lower protocol sweep. Output is
-// the live counterpart of EXPERIMENTS.md.
+// de Bruijn finding), and runs the upper-vs-lower protocol sweep in parallel
+// through the systolic.Sweep engine (the output order is deterministic and
+// identical to a serial run). Output is the live counterpart of
+// EXPERIMENTS.md.
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
 
 	"repro/internal/bounds"
-	"repro/internal/core"
-	"repro/internal/gossip"
-	"repro/internal/protocols"
 	"repro/internal/separator"
 	"repro/internal/topology"
+	"repro/systolic"
 )
 
 var failed bool
@@ -39,10 +40,10 @@ func main() {
 		{"e(3)", 3, 2.8808}, {"e(4)", 4, 1.8133}, {"e(5)", 5, 1.6502},
 		{"e(6)", 6, 1.5363}, {"e(7)", 7, 1.5021}, {"e(8)", 8, 1.4721},
 	} {
-		e, _ := bounds.GeneralHalfDuplex(c.s)
+		e, _ := systolic.GeneralBound(systolic.HalfDuplex, c.s)
 		check(c.name, e, c.want, 1.01e-4)
 	}
-	eInf, lamInf := bounds.GeneralHalfDuplexInfinity()
+	eInf, lamInf := systolic.GeneralBound(systolic.HalfDuplex, systolic.NonSystolic)
 	check("e(inf)", eInf, 1.4404, 1.01e-4)
 	check("lambda(inf) = 1/phi", lamInf, 0.6180, 1.01e-4)
 	wbf := bounds.LemmaSeparator(bounds.WBF, 2)
@@ -108,58 +109,49 @@ func report(measured int, err error) {
 	fmt.Printf("  separator verified: min distance %d meets its promise\n", measured)
 }
 
+// sweep fans the upper-vs-lower grid across GOMAXPROCS workers; results
+// come back in job order, so the printed table matches the old serial loop
+// byte for byte.
 func sweep() {
-	type run struct {
-		kind  string
-		a, b  int
-		build func(net *core.Network) (*gossip.Protocol, error)
-		label string
+	jobs := []systolic.SweepJob{
+		{Label: "periodic half-duplex", Kind: "debruijn",
+			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(5)},
+			Protocol: systolic.UseProtocol("periodic-half", 0)},
+		{Label: "periodic half-duplex", Kind: "wbf",
+			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(4)},
+			Protocol: systolic.UseProtocol("periodic-half", 0)},
+		{Label: "periodic full-duplex", Kind: "kautz",
+			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(4)},
+			Protocol: systolic.UseProtocol("periodic-full", 0)},
+		{Label: "periodic full-duplex", Kind: "butterfly",
+			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(3)},
+			Protocol: systolic.UseProtocol("periodic-full", 0)},
+		{Label: "dimension exchange", Kind: "hypercube",
+			Params:   []systolic.Param{systolic.Dimension(6)},
+			Protocol: systolic.UseProtocol("hypercube", 0)},
+		{Label: "greedy non-systolic", Kind: "debruijn",
+			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(5)},
+			Protocol: systolic.UseProtocol("greedy-half", 100000)},
 	}
-	runs := []run{
-		{"debruijn", 2, 5, func(n *core.Network) (*gossip.Protocol, error) {
-			return protocols.PeriodicHalfDuplex(n.G), nil
-		}, "periodic half-duplex"},
-		{"wbf", 2, 4, func(n *core.Network) (*gossip.Protocol, error) {
-			return protocols.PeriodicHalfDuplex(n.G), nil
-		}, "periodic half-duplex"},
-		{"kautz", 2, 4, func(n *core.Network) (*gossip.Protocol, error) {
-			return protocols.PeriodicFullDuplex(n.G), nil
-		}, "periodic full-duplex"},
-		{"butterfly", 2, 3, func(n *core.Network) (*gossip.Protocol, error) {
-			return protocols.PeriodicFullDuplex(n.G), nil
-		}, "periodic full-duplex"},
-		{"hypercube", 6, 0, func(n *core.Network) (*gossip.Protocol, error) {
-			return protocols.HypercubeExchange(6), nil
-		}, "dimension exchange"},
-		{"debruijn", 2, 5, func(n *core.Network) (*gossip.Protocol, error) {
-			return protocols.GreedyGossip(n.G, gossip.HalfDuplex, 100000)
-		}, "greedy non-systolic"},
+	results, err := systolic.Sweep(context.Background(), jobs, systolic.WithRoundBudget(200000))
+	if err != nil {
+		fmt.Printf("  sweep: %v\n", err)
+		failed = true
+		return
 	}
-	for _, r := range runs {
-		net, err := core.NewNetwork(r.kind, r.a, r.b)
-		if err != nil {
-			fmt.Printf("  %s: %v\n", r.kind, err)
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Printf("  %s: %v\n", res.Label, res.Err)
 			failed = true
 			continue
 		}
-		p, err := r.build(net)
-		if err != nil {
-			fmt.Printf("  %s: %v\n", net.Name, err)
-			failed = true
-			continue
-		}
-		rep, err := core.Analyze(net, p, 200000)
-		if err != nil {
-			fmt.Printf("  %s: %v\n", net.Name, err)
-			failed = true
-			continue
-		}
+		rep := res.Report
 		ok := "ok"
 		if rep.Measured < rep.LowerBound.Rounds || !rep.TheoremRespected {
 			ok = "VIOLATION"
 			failed = true
 		}
 		fmt.Printf("  %-10s %-22s n=%-4d measured %4d >= bound %3d  norm@root %.4f  %s\n",
-			net.Name, r.label, net.G.N(), rep.Measured, rep.LowerBound.Rounds, rep.NormAtRoot, ok)
+			res.Network, res.Label, res.N, rep.Measured, rep.LowerBound.Rounds, rep.NormAtRoot, ok)
 	}
 }

@@ -2,13 +2,20 @@
 // Flammini and Stéphane Pérennès (IPPS 1997; journal version Information and
 // Computation 196, 2005).
 //
-// The library lives under internal/: the delay-digraph machinery
+// The public API is the top-level systolic package (repro/systolic): a
+// self-registering topology catalog instantiated from named parameters, the
+// option-based context-aware Analyze/Simulate/Evaluate entry points with
+// JSON-serializable Report/Bound results, and a parallel Sweep engine that
+// fans evaluation grids across a worker pool with deterministic result
+// ordering. See README.md for a quickstart.
+//
+// The substrates live under internal/: the delay-digraph machinery
 // (internal/delay), the numeric lower-bound solvers (internal/bounds), the
 // topology generators (internal/topology), the gossip protocol model and
 // simulator (internal/gossip), concrete protocol constructions
-// (internal/protocols), separator constructions (internal/separator), the
-// linear-algebra substrate (internal/matrix) and the public facade
-// (internal/core). The benchmark harness in bench_test.go regenerates every
-// table and figure of the paper; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for paper-vs-measured values.
+// (internal/protocols), separator constructions (internal/separator) and
+// the linear-algebra substrate (internal/matrix). The benchmark harness in
+// bench_test.go regenerates every table and figure of the paper; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured values.
 package repro

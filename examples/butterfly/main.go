@@ -8,15 +8,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/bounds"
-	"repro/internal/core"
-	"repro/internal/gossip"
-	"repro/internal/protocols"
 	"repro/internal/separator"
 	"repro/internal/topology"
+	"repro/systolic"
 )
 
 func main() {
@@ -51,17 +50,21 @@ func main() {
 	fmt.Printf("  s=∞: %.4f·log n (vs 1.4404 general; paper quotes 1.9750)\n", eInf)
 
 	fmt.Println("\n=== Upper vs lower on concrete instances ===")
+	ctx := context.Background()
 	for _, D := range []int{3, 4, 5} {
-		net, err := core.NewNetwork("wbf", 2, D)
+		net, err := systolic.New("wbf", systolic.Degree(2), systolic.Diameter(D))
 		if err != nil {
 			log.Fatal(err)
 		}
-		p := protocols.PeriodicHalfDuplex(net.G)
-		rep, err := core.Analyze(net, p, 200000)
+		p, err := systolic.NewProtocol("periodic-half", net, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		lb := core.Evaluate(net, core.Request{Mode: gossip.HalfDuplex, Period: p.Period})
+		rep, err := systolic.Analyze(ctx, net, p, systolic.WithRoundBudget(200000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		lb := systolic.Evaluate(net, systolic.Request{Mode: systolic.HalfDuplex, Period: p.Period})
 		fmt.Printf("  WBF(2,%d): n=%4d  measured %4d rounds  >=  bound %3d rounds (%.4f·log n, %s)\n",
 			D, net.G.N(), rep.Measured, lb.Rounds, lb.Coefficient, lb.Source)
 	}

@@ -6,18 +6,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/bounds"
-	"repro/internal/core"
-	"repro/internal/gossip"
-	"repro/internal/protocols"
 	"repro/internal/separator"
 	"repro/internal/topology"
+	"repro/systolic"
 )
 
 func main() {
+	ctx := context.Background()
+
 	fmt.Println("=== DB(2,D) and K(2,D) lower-bound coefficients (×log n) ===")
 	db := bounds.LemmaSeparator(bounds.DB, 2)
 	kz := bounds.LemmaSeparator(bounds.Kautz, 2)
@@ -31,12 +32,15 @@ func main() {
 
 	fmt.Println("=== Upper vs lower: periodic protocols on DB(2,D) ===")
 	for _, D := range []int{4, 5, 6} {
-		net, err := core.NewNetwork("debruijn", 2, D)
+		net, err := systolic.New("debruijn", systolic.Degree(2), systolic.Diameter(D))
 		if err != nil {
 			log.Fatal(err)
 		}
-		p := protocols.PeriodicHalfDuplex(net.G)
-		rep, err := core.Analyze(net, p, 200000)
+		p, err := systolic.NewProtocol("periodic-half", net, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := systolic.Analyze(ctx, net, p, systolic.WithRoundBudget(200000))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,16 +50,19 @@ func main() {
 
 	fmt.Println("\n=== Greedy non-systolic gossip (s→∞ comparison) ===")
 	for _, D := range []int{4, 5} {
-		net, _ := core.NewNetwork("debruijn", 2, D)
-		p, err := protocols.GreedyGossip(net.G, gossip.HalfDuplex, 10000)
+		net, err := systolic.New("debruijn", systolic.Degree(2), systolic.Diameter(D))
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := core.Analyze(net, p, 10000)
+		p, err := systolic.NewProtocol("greedy-half", net, 10000)
 		if err != nil {
 			log.Fatal(err)
 		}
-		lb := core.Evaluate(net, core.Request{Mode: gossip.HalfDuplex, Period: core.NonSystolic})
+		rep, err := systolic.Analyze(ctx, net, p, systolic.WithRoundBudget(10000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		lb := systolic.Evaluate(net, systolic.Request{Mode: systolic.HalfDuplex, Period: systolic.NonSystolic})
 		fmt.Printf("  DB(2,%d): greedy %3d rounds >= %.4f·log n = %d rounds (%s)\n",
 			D, rep.Measured, lb.Coefficient, lb.Rounds, lb.Source)
 	}

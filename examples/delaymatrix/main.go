@@ -5,32 +5,46 @@
 //   - the block decomposition by network vertex (norm property 8),
 //   - the Lemma 4.3 norm cap λ·√p⌈s/2⌉·√p⌊s/2⌋,
 //   - Theorem 4.1's inequality against the measured gossip time.
+//
+// The simulation runs through the public systolic API with a WithTrace
+// observer recording the dissemination curve.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
 	"repro/internal/bounds"
 	"repro/internal/delay"
-	"repro/internal/gossip"
-	"repro/internal/protocols"
-	"repro/internal/topology"
+	"repro/systolic"
 )
 
 func main() {
 	// A 4-systolic half-duplex protocol on the path P12.
 	n := 12
-	g := topology.Path(n)
-	p := protocols.PathZigZag(n)
-	res, err := gossip.Simulate(g, p, 10000)
+	net, err := systolic.New("path", systolic.Nodes(n))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("PathZigZag on P%d: gossip completes in %d rounds (s=%d systolic)\n\n", n, res.Rounds, p.Period)
+	p, err := systolic.NewProtocol("zigzag", net, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var curve []int
+	res, err := systolic.Simulate(context.Background(), net, p,
+		systolic.WithRoundBudget(10000),
+		systolic.WithTrace(systolic.ObserverFunc(func(_, knowledge, _ int) {
+			curve = append(curve, knowledge)
+		})))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PathZigZag on P%d: gossip completes in %d rounds (s=%d systolic)\n", n, res.Rounds, p.Period)
+	fmt.Printf("Dissemination curve (total knowledge per round, target %d): %v\n\n", n*n, curve)
 
-	dg, err := delay.Build(g, p, res.Rounds)
+	dg, err := delay.Build(net.G, p, res.Rounds)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +60,7 @@ func main() {
 	}
 
 	// At the root λ₀ of the s=4 bound, ‖M(λ₀)‖ ≤ 1, so Theorem 4.1 applies:
-	e, lambda0 := bounds.GeneralHalfDuplex(p.Period)
+	e, lambda0 := systolic.GeneralBound(systolic.HalfDuplex, p.Period)
 	fmt.Printf("\nAt the root λ₀ = %.4f (e(4) = %.4f): ‖M(λ₀)‖ = %.4f ≤ 1\n",
 		lambda0, e, dg.Norm(lambda0))
 	logInv := math.Log2(1 / lambda0)

@@ -7,46 +7,58 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/bounds"
-	"repro/internal/core"
 	"repro/internal/delay"
-	"repro/internal/gossip"
 	"repro/internal/graph"
 	"repro/internal/protocols"
 	"repro/internal/topology"
+	"repro/systolic"
 )
 
 func main() {
+	ctx := context.Background()
+
 	fmt.Println("=== General full-duplex bound = broadcasting bound (Section 6) ===")
 	for _, s := range []int{3, 4, 5, 8} {
-		e, _ := bounds.GeneralFullDuplex(s)
+		e, _ := systolic.GeneralBound(systolic.FullDuplex, s)
 		fmt.Printf("  e_fd(%d) = %.4f  =  c(%d) = %.4f (d-bonacci)\n",
 			s, e, s-1, bounds.BroadcastConstant(s-1))
 	}
 
 	fmt.Println("\n=== Fig. 8 rows for d=2 ===")
-	periods := []int{3, 4, 6, 8, bounds.SInfinity}
-	fmt.Print(bounds.FormatTopologyTable(bounds.Fig8([]int{2}, periods), periods))
+	periods := []int{3, 4, 6, 8, systolic.NonSystolic}
+	fmt.Print(systolic.FormatTopologyTable(systolic.Fig8([]int{2}, periods), periods))
 
 	fmt.Println("\n=== Optimal protocols meeting their bounds ===")
-	netQ, _ := core.NewNetwork("hypercube", 6, 0)
-	repQ, err := core.Analyze(netQ, protocols.HypercubeExchange(6), 100)
+	netQ, err := systolic.New("hypercube", systolic.Dimension(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pQ, err := systolic.NewProtocol("hypercube", netQ, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repQ, err := systolic.Analyze(ctx, netQ, pQ, systolic.WithRoundBudget(100))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  Q6 dimension exchange: %d rounds = log2(n) exactly\n", repQ.Measured)
 
-	g := topology.Grid(6, 6)
+	netG, err := systolic.New("grid", systolic.Rows(6), systolic.Cols(6))
+	if err != nil {
+		log.Fatal(err)
+	}
 	p := protocols.GridFullDuplex(6, 6)
-	res, err := gossip.Simulate(g, p, 10000)
+	res, err := systolic.Simulate(ctx, netG, p, systolic.WithRoundBudget(10000))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  6x6 grid traffic-light: %d rounds (diameter %d, Θ(a+b) as in [20,14,11])\n",
-		res.Rounds, g.Diameter())
+		res.Rounds, netG.G.Diameter())
 
 	fmt.Println("\n=== Section 7 extension: weighted-digraph diameter bounds ===")
 	for _, D := range []int{5, 6, 7} {

@@ -1,17 +1,16 @@
-// Quickstart: compute the paper's general lower-bound coefficients e(s)
-// (Fig. 4), evaluate the best bound for a concrete de Bruijn network, run a
-// real systolic protocol on it, and confirm the measured gossiping time
-// respects the bound.
+// Quickstart for the public systolic API: compute the paper's general
+// lower-bound coefficients e(s) (Fig. 4), evaluate the best bound for a
+// concrete de Bruijn network built from named parameters, run a real
+// systolic protocol on it, and confirm the measured gossiping time respects
+// the bound.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/bounds"
-	"repro/internal/core"
-	"repro/internal/gossip"
-	"repro/internal/protocols"
+	"repro/systolic"
 )
 
 func main() {
@@ -20,26 +19,30 @@ func main() {
 	// needs at least e(s)·log2(n) − O(log log n) rounds.
 	fmt.Println("General half-duplex coefficients e(s):")
 	for _, s := range []int{3, 4, 5, 6, 7, 8} {
-		e, lambda := bounds.GeneralHalfDuplex(s)
+		e, lambda := systolic.GeneralBound(systolic.HalfDuplex, s)
 		fmt.Printf("  s=%d: e=%.4f (λ₀=%.4f)\n", s, e, lambda)
 	}
-	eInf, _ := bounds.GeneralHalfDuplexInfinity()
+	eInf, _ := systolic.GeneralBound(systolic.HalfDuplex, systolic.NonSystolic)
 	fmt.Printf("  s=∞: e=%.4f (the 1.4404·log n bound of Even–Monien et al.)\n\n", eInf)
 
-	// 2. A concrete network: the undirected de Bruijn graph DB(2,6).
-	net, err := core.NewNetwork("debruijn", 2, 6)
+	// 2. A concrete network from the topology registry: the undirected
+	// de Bruijn graph DB(2,6), instantiated with named parameters.
+	net, err := systolic.New("debruijn", systolic.Degree(2), systolic.Diameter(6))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Network %s: n=%d vertices\n", net.Name, net.G.N())
 
 	// 3. The refined bound of Theorem 5.1 via the ⟨α,ℓ⟩-separator.
-	b := core.Evaluate(net, core.Request{Mode: gossip.HalfDuplex, Period: 4})
+	b := systolic.Evaluate(net, systolic.Request{Mode: systolic.HalfDuplex, Period: 4})
 	fmt.Printf("4-systolic half-duplex lower bound: %v\n\n", b)
 
-	// 4. Run a real periodic protocol and compare.
-	p := protocols.PeriodicHalfDuplex(net.G)
-	rep, err := core.Analyze(net, p, 100000)
+	// 4. Run a real periodic protocol from the catalog and compare.
+	p, err := systolic.NewProtocol("periodic-half", net, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := systolic.Analyze(context.Background(), net, p)
 	if err != nil {
 		log.Fatal(err)
 	}

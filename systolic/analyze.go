@@ -1,6 +1,7 @@
-package core
+package systolic
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bounds"
@@ -10,42 +11,50 @@ import (
 
 // Report is the outcome of analyzing a concrete protocol on a network: the
 // measured completion time, the delay-digraph statistics, and the paper's
-// inequalities checked against the measurements.
+// inequalities checked against the measurements. It is JSON-serializable;
+// the golden tests pin its schema.
 type Report struct {
-	Network string
-	Mode    gossip.Mode
-	// Systolic period of the protocol (0 for finite non-systolic).
-	Period int
-	// Measured gossip completion time in rounds.
-	Measured int
+	Network string `json:"network"`
+	// Mode is the communication model name ("directed", "half-duplex",
+	// "full-duplex").
+	Mode string `json:"mode"`
+	// Period is the systolic period of the protocol (0 for finite
+	// non-systolic).
+	Period int `json:"period"`
+	// Measured is the gossip completion time in rounds.
+	Measured int `json:"measured_rounds"`
 	// LowerBound is the paper's bound for this network/mode/period.
-	LowerBound Bound
+	LowerBound Bound `json:"lower_bound"`
 	// DelayVerts and DelayArcs are the sizes of the delay digraph built
 	// over the executed rounds.
-	DelayVerts, DelayArcs int
+	DelayVerts int `json:"delay_verts"`
+	DelayArcs  int `json:"delay_arcs"`
 	// NormAtRoot is ‖M(λ₀)‖ at the root λ₀ of the general bound for the
 	// protocol's period, and NormCap the Lemma 4.3 / 6.1 cap (= 1 at the
 	// root by construction). NormAtRoot ≤ NormCap certifies the protocol
 	// obeys the paper's structural inequality.
-	NormAtRoot, NormCap float64
+	NormAtRoot float64 `json:"norm_at_root"`
+	NormCap    float64 `json:"norm_cap"`
 	// TheoremRespected reports whether the measured time satisfies the
 	// Theorem 4.1 inequality at λ₀ — it must always be true; a false value
 	// would falsify the paper (or reveal an implementation bug).
-	TheoremRespected bool
+	TheoremRespected bool `json:"theorem_respected"`
 }
 
 // Analyze validates p on the network, simulates it to completion (within
-// maxRounds), builds the delay digraph of the executed prefix, computes the
-// delay-matrix norm at the root of the protocol's own period bound, and
-// checks Theorem 4.1 against the measurement.
-func Analyze(net *Network, p *gossip.Protocol, maxRounds int) (*Report, error) {
-	res, err := gossip.Simulate(net.G, p, maxRounds)
+// the WithRoundBudget cap), builds the delay digraph of the executed
+// prefix, computes the delay-matrix norm at the root of the protocol's own
+// period bound, and checks Theorem 4.1 against the measurement. The context
+// cancels the simulation between rounds.
+func Analyze(ctx context.Context, net *Network, p *Protocol, opts ...Option) (*Report, error) {
+	cfg := newConfig(opts)
+	res, err := simulate(ctx, net, p, cfg, false, 0)
 	if err != nil {
-		return nil, fmt.Errorf("core: analyze %s: %w", net.Name, err)
+		return nil, fmt.Errorf("systolic: analyze %s: %w", net.Name, err)
 	}
 	rep := &Report{
 		Network:  net.Name,
-		Mode:     p.Mode,
+		Mode:     p.Mode.String(),
 		Period:   p.Period,
 		Measured: res.Rounds,
 	}
@@ -57,7 +66,7 @@ func Analyze(net *Network, p *gossip.Protocol, maxRounds int) (*Report, error) {
 
 	dg, err := delay.Build(net.G, p, res.Rounds)
 	if err != nil {
-		return nil, fmt.Errorf("core: delay digraph: %w", err)
+		return nil, fmt.Errorf("systolic: delay digraph: %w", err)
 	}
 	rep.DelayVerts = len(dg.Verts)
 	rep.DelayArcs = len(dg.Arcs)
@@ -108,6 +117,6 @@ func (r *Report) String() string {
 	if r.Period > 0 {
 		sys = fmt.Sprintf("%d-systolic", r.Period)
 	}
-	return fmt.Sprintf("%s [%v, %s]: measured %d rounds; lower bound %v; delay digraph %d verts / %d arcs; ‖M(λ₀)‖ = %.4f ≤ %.1f; Theorem 4.1 respected: %v",
+	return fmt.Sprintf("%s [%s, %s]: measured %d rounds; lower bound %v; delay digraph %d verts / %d arcs; ‖M(λ₀)‖ = %.4f ≤ %.1f; Theorem 4.1 respected: %v",
 		r.Network, r.Mode, sys, r.Measured, r.LowerBound, r.DelayVerts, r.DelayArcs, r.NormAtRoot, r.NormCap, r.TheoremRespected)
 }

@@ -1,4 +1,4 @@
-package core
+package systolic
 
 import (
 	"fmt"
@@ -11,31 +11,40 @@ import (
 type Request struct {
 	// Mode is the communication model; Directed and HalfDuplex share the
 	// same bounds (Sections 4–5), FullDuplex uses Section 6.
-	Mode gossip.Mode
-	// Period is the systolic period s ≥ 3, or NonSystolic for the s→∞
+	Mode Mode `json:"mode"`
+	// Period is the systolic period s ≥ 2, or NonSystolic for the s→∞
 	// corollaries.
-	Period int
+	Period int `json:"period"`
 }
 
 // NonSystolic requests the s→∞ bounds.
 const NonSystolic = bounds.SInfinity
 
-// Bound is an evaluated lower bound on gossiping time.
+// Bound is an evaluated lower bound on gossiping time. It is
+// JSON-serializable; the golden tests pin its schema.
 type Bound struct {
 	// Coefficient multiplies log₂(n): g(G) ≥ Coefficient·log₂(n) − o(log n).
-	Coefficient float64
+	Coefficient float64 `json:"coefficient"`
 	// Lambda is the λ value realizing the bound (the root for the general
 	// bound, the maximizer for separator bounds).
-	Lambda float64
+	Lambda float64 `json:"lambda"`
 	// Rounds is an explicit finite-n certified round bound: the Theorem 4.1
 	// value at the general-bound root for this mode and period (plus the
 	// n−1 value for s=2). The asymptotic Coefficient may be larger
 	// (separator and diameter refinements carry −o(log n) slack that is
 	// not certified at finite n, so it is never folded into Rounds).
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Source names the active bound: "general" (Cor. 4.4 / §6),
-	// "separator" (Thm. 5.1), or "diameter".
-	Source string
+	// "separator" (Thm. 5.1), "diameter", or the s=2 arguments.
+	Source string `json:"source"`
+}
+
+// GeneralBound returns the paper's general lower-bound coefficient e(s) and
+// the root λ₀ realizing it for the given mode and period (Fig. 4 for
+// directed/half-duplex, the Section 6 analogue for full-duplex). Use
+// NonSystolic for the s→∞ corollaries.
+func GeneralBound(mode Mode, period int) (e, lambda float64) {
+	return generalFor(Request{Mode: mode, Period: period})
 }
 
 // Evaluate returns the best lower bound the paper provides for the network

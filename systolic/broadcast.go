@@ -1,37 +1,40 @@
-package core
+package systolic
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/bounds"
-	"repro/internal/gossip"
 	"repro/internal/protocols"
 )
 
 // BroadcastReport compares a measured broadcast time against the
 // bounded-degree lower bound b(G) ≥ c(d)·log₂(n) of Liestman–Peters and
 // Bermond et al. [22,2] that the paper's Section 6 ties to the full-duplex
-// systolic bounds.
+// systolic bounds. It is JSON-serializable.
 type BroadcastReport struct {
-	Network  string
-	Source   int
-	Measured int
-	// CBound is the information/degree lower bound:
-	// max(⌈c(d)·log₂ n⌉-style floor via ceil, eccentricity of the source).
-	CBound int
+	Network  string `json:"network"`
+	Source   int    `json:"source"`
+	Measured int    `json:"measured_rounds"`
+	// CBound is the certified information/degree lower bound:
+	// max(⌈log₂ n⌉ floor of the c(d)·log₂ n bound, eccentricity of the
+	// source).
+	CBound int `json:"c_bound"`
 	// C is the constant c(d) for the network's degree parameter.
-	C float64
+	C float64 `json:"c"`
 }
 
 // AnalyzeBroadcast builds the BFS-tree broadcast schedule from source,
-// simulates it, and evaluates the broadcasting lower bound. The measured
-// time always dominates the bound (tests rely on this).
-func AnalyzeBroadcast(net *Network, source, maxRounds int) (*BroadcastReport, error) {
+// simulates it (context-aware, within the WithRoundBudget cap), and
+// evaluates the broadcasting lower bound. The measured time always
+// dominates the bound (tests rely on this).
+func AnalyzeBroadcast(ctx context.Context, net *Network, source int, opts ...Option) (*BroadcastReport, error) {
+	cfg := newConfig(opts)
 	p := protocols.BroadcastSchedule(net.G, source)
-	res, err := gossip.SimulateBroadcast(net.G, p, source, maxRounds)
+	res, err := simulate(ctx, net, p, cfg, true, source)
 	if err != nil {
-		return nil, fmt.Errorf("core: broadcast on %s: %w", net.Name, err)
+		return nil, fmt.Errorf("systolic: broadcast on %s: %w", net.Name, err)
 	}
 	rep := &BroadcastReport{Network: net.Name, Source: source, Measured: res.Rounds}
 	d := net.DegreeParam

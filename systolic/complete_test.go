@@ -1,10 +1,8 @@
-package core
+package systolic
 
 import (
+	"context"
 	"testing"
-
-	"repro/internal/gossip"
-	"repro/internal/protocols"
 )
 
 // TestCompleteGraphHalfDuplexRegime: the 1.4404·log n bound of
@@ -14,16 +12,17 @@ import (
 // multiple of it, and the ratio must not grow with n — the shape the theory
 // predicts for K_n.
 func TestCompleteGraphHalfDuplexRegime(t *testing.T) {
+	ctx := context.Background()
 	for _, n := range []int{8, 16, 32, 64} {
-		net, err := NewNetwork("complete", n, 0)
+		net, err := New("complete", Nodes(n))
 		if err != nil {
 			t.Fatal(err)
 		}
-		p, err := protocols.GreedyGossip(net.G, gossip.HalfDuplex, 1000)
+		p, err := NewProtocol("greedy-half", net, 1000)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := gossip.Simulate(net.G, p, 1000)
+		res, err := Simulate(ctx, net, p, WithRoundBudget(1000))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,12 +43,17 @@ func TestCompleteGraphHalfDuplexRegime(t *testing.T) {
 // TestCompleteGraphFullDuplexOptimal: recursive doubling attains log₂(n) on
 // K_n for n a power of two — the classical optimum the model predicts.
 func TestCompleteGraphFullDuplexOptimal(t *testing.T) {
+	ctx := context.Background()
 	for _, n := range []int{8, 32, 128} {
-		net, err := NewNetwork("complete", n, 0)
+		net, err := New("complete", Nodes(n))
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := Analyze(net, protocols.CompleteDoubling(n), 1000)
+		p, err := NewProtocol("doubling", net, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Analyze(ctx, net, p, WithRoundBudget(1000))
 		if err != nil {
 			t.Fatal(err)
 		}

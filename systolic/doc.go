@@ -1,0 +1,35 @@
+// Package systolic is the public API of the systolic-gossip reproduction
+// ("Lower bounds on systolic gossip", Flammini & Pérennès, IPPS 1997).
+//
+// It exposes the paper's machinery through three pillars:
+//
+//   - A self-registering topology catalog. Every network family is a
+//     Topology registered under a kind name and instantiated from named
+//     parameters instead of ambiguous positional pairs:
+//
+//     net, err := systolic.New("debruijn", systolic.Degree(2), systolic.Diameter(5))
+//
+//     Third-party families plug in via Register without touching this
+//     package.
+//
+//   - Option-based, context-aware analysis entry points. Analyze validates
+//     a protocol, simulates it to completion, builds its delay digraph and
+//     checks the paper's inequalities; Simulate runs the dissemination
+//     alone. Both honour context cancellation and accept functional
+//     options (WithRoundBudget, WithTrace):
+//
+//     rep, err := systolic.Analyze(ctx, net, p, systolic.WithRoundBudget(100000))
+//
+//     The returned Report and Bound types are JSON-serializable and shared
+//     by the CLIs, the benchmarks and the golden tests.
+//
+//   - A parallel Sweep engine. Sweep fans a grid of (topology × protocol)
+//     evaluations across a worker pool (GOMAXPROCS workers by default) and
+//     returns results in deterministic job order, so parallel runs are
+//     byte-identical to serial ones.
+//
+// Lower bounds are evaluated with Evaluate (Corollary 4.4, Theorem 5.1 and
+// the Section 6 full-duplex bounds, with the Lemma 3.1 separator parameters
+// filled in automatically for the families the paper studies) and
+// GeneralBound (the bare e(s) coefficients of Fig. 4).
+package systolic

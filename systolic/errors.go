@@ -1,0 +1,22 @@
+package systolic
+
+import (
+	"errors"
+
+	"repro/internal/gossip"
+)
+
+var (
+	// ErrUnknownTopology is returned by New and Lookup for a kind that is
+	// not in the registry; the error text lists the registered kinds.
+	ErrUnknownTopology = errors.New("systolic: unknown topology")
+	// ErrBadParam is returned when a topology parameter is missing, out of
+	// range, or would produce an unreasonably large instance.
+	ErrBadParam = errors.New("systolic: bad topology parameter")
+	// ErrUnknownProtocol is returned by NewProtocol for a name that is not
+	// in the protocol catalog.
+	ErrUnknownProtocol = errors.New("systolic: unknown protocol")
+	// ErrIncomplete is returned when a simulation hits its round budget
+	// before dissemination completes.
+	ErrIncomplete = gossip.ErrIncomplete
+)

@@ -1,0 +1,36 @@
+package systolic
+
+import "repro/internal/bounds"
+
+// Fig4Row is one row of the paper's Fig. 4 table: the general lower-bound
+// coefficient e(s) and its root λ₀ for one systolic period.
+type Fig4Row = bounds.Fig4Row
+
+// TopologyRow is one cell of the per-topology tables (Figs. 5, 6, 8): the
+// best coefficient for one family, degree and period.
+type TopologyRow = bounds.TopologyRow
+
+// Fig4Periods is the period list of the paper's Fig. 4 (s = 3…8 and ∞).
+var Fig4Periods = bounds.Fig4Periods
+
+// Fig4 regenerates the general lower-bound table of Fig. 4 for the given
+// periods (use NonSystolic for the s→∞ row).
+func Fig4(periods []int) []Fig4Row { return bounds.Fig4(periods) }
+
+// Fig5 regenerates the per-topology systolic table of Fig. 5 (half-duplex).
+func Fig5(degrees, periods []int) []TopologyRow { return bounds.Fig5(degrees, periods) }
+
+// Fig6 regenerates the non-systolic per-topology table of Fig. 6.
+func Fig6(degrees []int) []TopologyRow { return bounds.Fig6(degrees) }
+
+// Fig8 regenerates the full-duplex table of Fig. 8.
+func Fig8(degrees, periods []int) []TopologyRow { return bounds.Fig8(degrees, periods) }
+
+// FormatFig4 renders a Fig. 4 table.
+func FormatFig4(rows []Fig4Row) string { return bounds.FormatFig4(rows) }
+
+// FormatTopologyTable renders a Fig. 5/6/8 table with one column per
+// period.
+func FormatTopologyTable(rows []TopologyRow, periods []int) string {
+	return bounds.FormatTopologyTable(rows, periods)
+}

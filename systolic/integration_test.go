@@ -1,6 +1,7 @@
-package core
+package systolic
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bounds"
@@ -60,7 +61,7 @@ func TestTheorem51InstanceBoundSound(t *testing.T) {
 func TestEvaluateFiniteBoundsNeverExceedOptimalProtocols(t *testing.T) {
 	// Hypercube Q_D: optimal D rounds; bound must be ≤ D and ideally = D.
 	for D := 3; D <= 7; D++ {
-		net, _ := NewNetwork("hypercube", D, 0)
+		net, _ := New("hypercube", Dimension(D))
 		b := Evaluate(net, Request{Mode: gossip.FullDuplex, Period: D})
 		if b.Rounds > D {
 			t.Errorf("Q%d: certified bound %d exceeds optimal %d", D, b.Rounds, D)
@@ -71,9 +72,9 @@ func TestEvaluateFiniteBoundsNeverExceedOptimalProtocols(t *testing.T) {
 	}
 	// BF(2,3) full-duplex: the periodic protocol finishes in 9 rounds, so
 	// any certified bound must be ≤ 9.
-	net, _ := NewNetwork("butterfly", 2, 3)
+	net, _ := New("butterfly", Degree(2), Diameter(3))
 	p := protocols.PeriodicFullDuplex(net.G)
-	res, err := gossip.Simulate(net.G, p, 10000)
+	res, err := Simulate(context.Background(), net, p, WithRoundBudget(10000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestEvaluateFiniteBoundsNeverExceedOptimalProtocols(t *testing.T) {
 // TestEvaluateDiameterFloor: for sparse long networks the diameter dominates
 // the certified bound.
 func TestEvaluateDiameterFloor(t *testing.T) {
-	net, _ := NewNetwork("cycle", 40, 0)
+	net, _ := New("cycle", Nodes(40))
 	b := Evaluate(net, Request{Mode: gossip.HalfDuplex, Period: 4})
 	if b.Rounds < 20 {
 		t.Errorf("C40 certified bound %d below diameter 20", b.Rounds)
@@ -95,9 +96,9 @@ func TestEvaluateDiameterFloor(t *testing.T) {
 
 // TestAnalyzeDirectedRoundRobinKautz covers the directed mode end to end.
 func TestAnalyzeDirectedRoundRobinKautz(t *testing.T) {
-	net, _ := NewNetwork("kautz-digraph", 2, 3)
+	net, _ := New("kautz-digraph", Degree(2), Diameter(3))
 	p := protocols.RoundRobinDirected(net.G)
-	rep, err := Analyze(net, p, 100000)
+	rep, err := Analyze(context.Background(), net, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,12 +113,12 @@ func TestAnalyzeDirectedRoundRobinKautz(t *testing.T) {
 // TestAnalyzeGreedyNonSystolic covers the non-systolic analysis path
 // (s→∞ bound, horizon = full length).
 func TestAnalyzeGreedyNonSystolic(t *testing.T) {
-	net, _ := NewNetwork("debruijn", 2, 4)
-	p, err := protocols.GreedyGossip(net.G, gossip.HalfDuplex, 100000)
+	net, _ := New("debruijn", Degree(2), Diameter(4))
+	p, err := NewProtocol("greedy-half", net, 100000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Analyze(net, p, 100000)
+	rep, err := Analyze(context.Background(), net, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,117 @@
+package systolic
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReportJSONGolden pins the wire schema of Report/Bound: a literal
+// report marshals byte-for-byte to testdata/report.golden.json. Renaming,
+// removing or reordering a JSON field is a breaking API change and must
+// show up as a diff here. Regenerate with -update after an intentional
+// change.
+func TestReportJSONGolden(t *testing.T) {
+	rep := &Report{
+		Network:  "DB(2,5)",
+		Mode:     "half-duplex",
+		Period:   4,
+		Measured: 18,
+		LowerBound: Bound{
+			Coefficient: 1.8133,
+			Lambda:      0.5411,
+			Rounds:      7,
+			Source:      "separator",
+		},
+		DelayVerts:       576,
+		DelayArcs:        1120,
+		NormAtRoot:       0.9876,
+		NormCap:          1,
+		TheoremRespected: true,
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "report.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("Report JSON schema drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSweepResultJSONGolden pins the SweepResult envelope the same way.
+func TestSweepResultJSONGolden(t *testing.T) {
+	res := SweepResult{
+		Index:   3,
+		Label:   "wbf-periodic",
+		Network: "WBF(2,4)",
+		N:       64,
+		Report: &Report{
+			Network:    "WBF(2,4)",
+			Mode:       "half-duplex",
+			Period:     6,
+			Measured:   25,
+			LowerBound: Bound{Coefficient: 2.0219, Lambda: 0.62, Rounds: 9, Source: "separator"},
+			DelayVerts: 300, DelayArcs: 700,
+			NormAtRoot: 0.91, NormCap: 1, TheoremRespected: true,
+		},
+	}
+	got, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "sweepresult.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("SweepResult JSON schema drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestReportJSONRoundTrip: a computed report survives a marshal/unmarshal
+// cycle intact (the schema carries every field).
+func TestReportJSONRoundTrip(t *testing.T) {
+	net, err := New("debruijn", Degree(2), Diameter(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProtocol("periodic-half", net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(context.Background(), net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *rep {
+		t.Errorf("round trip changed the report:\n before %+v\n after  %+v", *rep, back)
+	}
+}

@@ -1,0 +1,57 @@
+package systolic
+
+import (
+	"math"
+
+	"repro/internal/bounds"
+	"repro/internal/graph"
+)
+
+// Digraph is the network substrate: a digraph with adjacency lists, BFS and
+// degree/diameter queries (see repro/internal/graph).
+type Digraph = graph.Digraph
+
+// Family classifies a network into one of the paper's Lemma 3.1 families.
+type Family = bounds.Family
+
+// Network is a concrete network instance: the digraph plus the metadata the
+// bound machinery needs (family classification and degree parameter).
+type Network struct {
+	Name string
+	G    *Digraph
+	// Family is the paper family when the topology is one of Lemma 3.1's
+	// (BF, WBF→, WBF, DB, K); FamilyKnown is false otherwise.
+	Family      Family
+	FamilyKnown bool
+	// DegreeParam is the broadcast parameter d: maximum degree minus one
+	// for symmetric networks, maximum out-degree for directed ones.
+	DegreeParam int
+}
+
+// Plain wraps a digraph as a Network with no paper-family classification;
+// it is the building block for topologies registered from outside this
+// package.
+func Plain(name string, g *Digraph) *Network {
+	return &Network{Name: name, G: g, DegreeParam: degreeParam(g)}
+}
+
+// Classified wraps a digraph as a Network belonging to one of the paper's
+// families, enabling the separator and diameter bound refinements.
+func Classified(name string, g *Digraph, f Family, d int) *Network {
+	return &Network{Name: name, G: g, Family: f, FamilyKnown: true, DegreeParam: d}
+}
+
+func degreeParam(g *Digraph) int {
+	if g.IsSymmetric() {
+		d := g.MaxOutDeg() - 1
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	return g.MaxOutDeg()
+}
+
+// LogN returns log₂(n) for the network, the unit in which the paper's
+// bounds are expressed.
+func (net *Network) LogN() float64 { return math.Log2(float64(net.G.N())) }

@@ -1,0 +1,60 @@
+package systolic
+
+import "runtime"
+
+// DefaultRoundBudget caps simulated rounds when no WithRoundBudget option
+// is given.
+const DefaultRoundBudget = 100000
+
+// Observer receives per-round progress from Simulate/Analyze; install one
+// with WithTrace. Calls are sequential within one simulation but a Sweep
+// runs jobs concurrently, so an observer shared across jobs must be
+// safe for concurrent use.
+type Observer interface {
+	// Round is called after each executed round with the 1-based round
+	// number, the current knowledge count (sum over processors of known
+	// items) and the target count at which dissemination is complete.
+	Round(round, knowledge, target int)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(round, knowledge, target int)
+
+// Round implements Observer.
+func (f ObserverFunc) Round(round, knowledge, target int) { f(round, knowledge, target) }
+
+type config struct {
+	budget   int
+	observer Observer
+	workers  int
+}
+
+func newConfig(opts []Option) config {
+	cfg := config{budget: DefaultRoundBudget, workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.budget < 1 {
+		cfg.budget = 1
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	return cfg
+}
+
+// Option configures Analyze, Simulate, AnalyzeBroadcast and Sweep.
+type Option func(*config)
+
+// WithRoundBudget caps the number of simulated rounds (default
+// DefaultRoundBudget). Hitting the cap before completion yields
+// ErrIncomplete.
+func WithRoundBudget(n int) Option { return func(c *config) { c.budget = n } }
+
+// WithTrace installs an observer that is called after every simulated
+// round — the hook behind dissemination curves and progress displays.
+func WithTrace(o Observer) Option { return func(c *config) { c.observer = o } }
+
+// WithWorkers overrides the Sweep worker-pool size (default GOMAXPROCS).
+// It has no effect on single-run entry points.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }

@@ -1,0 +1,108 @@
+package systolic
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/gossip"
+	"repro/internal/protocols"
+)
+
+// Protocol is a sequence of communication rounds (Definition 3.1), possibly
+// systolic (Definition 3.2). See repro/internal/gossip.
+type Protocol = gossip.Protocol
+
+// Mode selects the communication model of Section 3.
+type Mode = gossip.Mode
+
+// The three communication models of the paper.
+const (
+	Directed   = gossip.Directed
+	HalfDuplex = gossip.HalfDuplex
+	FullDuplex = gossip.FullDuplex
+)
+
+// ProtocolBuilder constructs the protocol to run on an instantiated
+// network; it is the unit of work a SweepJob carries.
+type ProtocolBuilder func(net *Network) (*Protocol, error)
+
+// protocolCatalog names the protocol constructions the reproduction ships.
+// Each entry receives the network and the round budget (only the greedy
+// heuristics consume the budget, as their construction simulates).
+var protocolCatalog = map[string]func(net *Network, budget int) (*Protocol, error){
+	"periodic-half": func(net *Network, _ int) (*Protocol, error) {
+		return protocols.PeriodicHalfDuplex(net.G), nil
+	},
+	"periodic-full": func(net *Network, _ int) (*Protocol, error) {
+		return protocols.PeriodicFullDuplex(net.G), nil
+	},
+	"periodic-interleaved": func(net *Network, _ int) (*Protocol, error) {
+		return protocols.PeriodicInterleavedHalfDuplex(net.G), nil
+	},
+	"round-robin": func(net *Network, _ int) (*Protocol, error) {
+		return protocols.RoundRobinDirected(net.G), nil
+	},
+	"greedy-half": func(net *Network, budget int) (*Protocol, error) {
+		return protocols.GreedyGossip(net.G, gossip.HalfDuplex, budget)
+	},
+	"greedy-directed": func(net *Network, budget int) (*Protocol, error) {
+		return protocols.GreedyGossip(net.G, gossip.Directed, budget)
+	},
+	"greedy-full": func(net *Network, budget int) (*Protocol, error) {
+		return protocols.GreedyGossipFullDuplex(net.G, budget)
+	},
+	"hypercube": func(net *Network, _ int) (*Protocol, error) {
+		D := 0
+		for n := net.G.N(); n > 1; n >>= 1 {
+			D++
+		}
+		return protocols.HypercubeExchange(D), nil
+	},
+	"doubling": func(net *Network, _ int) (*Protocol, error) {
+		return protocols.CompleteDoubling(net.G.N()), nil
+	},
+	"zigzag": func(net *Network, _ int) (*Protocol, error) {
+		return protocols.PathZigZag(net.G.N()), nil
+	},
+	"cycle2": func(net *Network, _ int) (*Protocol, error) {
+		return protocols.CycleTwoPhase(net.G.N()), nil
+	},
+}
+
+// ProtocolKinds lists the named protocol constructions in sorted order.
+func ProtocolKinds() []string {
+	ks := make([]string, 0, len(protocolCatalog))
+	for k := range protocolCatalog {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// NewProtocol builds a named protocol for the network. The budget caps the
+// construction cost of the greedy heuristics; the periodic constructions
+// ignore it.
+func NewProtocol(name string, net *Network, budget int) (*Protocol, error) {
+	build, ok := protocolCatalog[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w %q (accepted: %s)", ErrUnknownProtocol, name, strings.Join(ProtocolKinds(), ", "))
+	}
+	return build(net, budget)
+}
+
+// UseProtocol adapts a named protocol from the catalog into a
+// ProtocolBuilder for Sweep jobs.
+func UseProtocol(name string, budget int) ProtocolBuilder {
+	return func(net *Network) (*Protocol, error) {
+		return NewProtocol(name, net, budget)
+	}
+}
+
+// LoadProtocol reads a protocol from its schedule encoding (see
+// SaveProtocol).
+func LoadProtocol(r io.Reader) (*Protocol, error) { return gossip.Decode(r) }
+
+// SaveProtocol writes the protocol's schedule encoding.
+func SaveProtocol(w io.Writer, p *Protocol) error { return p.Encode(w) }

@@ -1,0 +1,88 @@
+package systolic
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	b := Builder{Params: []string{ParamNodes}, Build: func(p Params) (*Network, error) {
+		n, err := p.atLeast("star-test", ParamNodes, 2)
+		if err != nil {
+			return nil, err
+		}
+		return Plain("star-test", topology.Star(n)), nil
+	}}
+	Register("star-test-dup", b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Register of the same kind did not panic")
+		}
+	}()
+	Register("star-test-dup", b)
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register with empty name did not panic")
+		}
+	}()
+	Register("  ", Builder{Build: func(Params) (*Network, error) { return nil, nil }})
+}
+
+func TestRegisterNilBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register with nil build did not panic")
+		}
+	}()
+	Register("nil-build-test", Builder{Params: []string{ParamNodes}})
+}
+
+func TestRegisterThirdPartyTopology(t *testing.T) {
+	Register("star-test", Builder{Params: []string{ParamNodes}, Build: func(p Params) (*Network, error) {
+		n, err := p.atLeast("star-test", ParamNodes, 2)
+		if err != nil {
+			return nil, err
+		}
+		return Plain("star-test", topology.Star(n)), nil
+	}})
+	net, err := New("star-test", Nodes(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.G.N() != 7 {
+		t.Errorf("star N = %d, want 7", net.G.N())
+	}
+	if net.FamilyKnown {
+		t.Error("unclassified topology claims a paper family")
+	}
+	top, ok := Lookup("STAR-TEST") // lookup is case-insensitive
+	if !ok {
+		t.Fatal("Lookup failed for registered kind")
+	}
+	if top.Kind() != "star-test" {
+		t.Errorf("Kind() = %q", top.Kind())
+	}
+	if names := top.ParamNames(); len(names) != 1 || names[0] != ParamNodes {
+		t.Errorf("ParamNames() = %v", names)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("no-such-kind"); ok {
+		t.Error("Lookup returned ok for unknown kind")
+	}
+}
+
+func TestParamsGet(t *testing.T) {
+	p := MakeParams(Degree(2), Diameter(5))
+	if v, ok := p.Get(ParamDegree); !ok || v != 2 {
+		t.Errorf("Get(degree) = %d, %v", v, ok)
+	}
+	if _, ok := p.Get(ParamNodes); ok {
+		t.Error("Get(nodes) reported an unset parameter as set")
+	}
+}

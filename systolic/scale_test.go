@@ -1,10 +1,8 @@
-package core
+package systolic
 
 import (
+	"context"
 	"testing"
-
-	"repro/internal/gossip"
-	"repro/internal/protocols"
 )
 
 // TestScaleDeBruijn runs the full pipeline on DB(2,9) (512 vertices,
@@ -15,12 +13,15 @@ func TestScaleDeBruijn(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale test")
 	}
-	net, err := NewNetwork("debruijn", 2, 9)
+	net, err := New("debruijn", Degree(2), Diameter(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := protocols.PeriodicHalfDuplex(net.G)
-	rep, err := Analyze(net, p, 1000000)
+	p, err := NewProtocol("periodic-half", net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(context.Background(), net, p, WithRoundBudget(1000000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,12 +46,15 @@ func TestScaleWrappedButterflyFullDuplex(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale test")
 	}
-	net, err := NewNetwork("wbf", 2, 7)
+	net, err := New("wbf", Degree(2), Diameter(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := protocols.PeriodicFullDuplex(net.G)
-	rep, err := Analyze(net, p, 1000000)
+	p, err := NewProtocol("periodic-full", net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(context.Background(), net, p, WithRoundBudget(1000000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,12 +70,15 @@ func TestScaleGossipThroughput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale test")
 	}
-	net, err := NewNetwork("debruijn", 2, 12)
+	net, err := New("debruijn", Degree(2), Diameter(12))
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := protocols.PeriodicHalfDuplex(net.G)
-	res, err := gossip.Simulate(net.G, p, 1000000)
+	p, err := NewProtocol("periodic-half", net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(context.Background(), net, p, WithRoundBudget(1000000))
 	if err != nil {
 		t.Fatal(err)
 	}

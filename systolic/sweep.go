@@ -1,0 +1,109 @@
+package systolic
+
+import (
+	"context"
+	"sync"
+)
+
+// SweepJob is one cell of a sweep grid: a topology instance (kind + named
+// parameters) and the protocol to analyze on it.
+type SweepJob struct {
+	// Label tags the job in results and displays.
+	Label string
+	// Kind and Params instantiate the network through the registry.
+	Kind   string
+	Params []Param
+	// Protocol builds the protocol to analyze on the instantiated network
+	// (see UseProtocol for catalog protocols).
+	Protocol ProtocolBuilder
+}
+
+// SweepResult is the outcome of one job. Exactly one of Report or Err is
+// meaningful; Err is context.Canceled (or the parent error) for jobs the
+// sweep never started.
+type SweepResult struct {
+	// Index is the job's position in the input grid; Sweep returns results
+	// in input order, so results[i].Index == i always holds.
+	Index int `json:"index"`
+	// Label echoes the job label.
+	Label string `json:"label"`
+	// Network names the instantiated network; N is its vertex count.
+	Network string `json:"network,omitempty"`
+	N       int    `json:"n,omitempty"`
+	// Report is the analysis outcome for a successful job.
+	Report *Report `json:"report,omitempty"`
+	// Err holds the job's failure, if any.
+	Err error `json:"-"`
+}
+
+// Sweep fans the job grid across a worker pool (GOMAXPROCS workers by
+// default, WithWorkers to override) and returns one result per job, in job
+// order — the output is deterministic and byte-identical to a serial run
+// regardless of worker count or scheduling. Per-job failures are recorded
+// in SweepResult.Err and do not stop the sweep; cancelling the context
+// stops the grid mid-flight, marks unstarted jobs with the context error,
+// and returns that error.
+func Sweep(ctx context.Context, jobs []SweepJob, opts ...Option) ([]SweepResult, error) {
+	cfg := newConfig(opts)
+	results := make([]SweepResult, len(jobs))
+	for i, j := range jobs {
+		results[i] = SweepResult{Index: i, Label: j.Label}
+	}
+	workers := cfg.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runSweepJob(ctx, jobs[i], &results[i], cfg)
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			results[i].Err = ctx.Err()
+			// Mark every job the feeder never handed out; workers finish
+			// whatever they already started.
+			for j := i + 1; j < len(jobs); j++ {
+				results[j].Err = ctx.Err()
+			}
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+func runSweepJob(ctx context.Context, job SweepJob, res *SweepResult, cfg config) {
+	net, err := New(job.Kind, job.Params...)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	res.Network = net.Name
+	res.N = net.G.N()
+	if job.Protocol == nil {
+		res.Err = ErrUnknownProtocol
+		return
+	}
+	p, err := job.Protocol(net)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	rep, err := Analyze(ctx, net, p, WithRoundBudget(cfg.budget), WithTrace(cfg.observer))
+	if err != nil {
+		res.Err = err
+		return
+	}
+	res.Report = rep
+}

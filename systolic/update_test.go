@@ -1,0 +1,7 @@
+package systolic
+
+import "flag"
+
+// update regenerates the golden files under testdata/ when tests run with
+// `go test ./systolic -run JSONGolden -update`.
+var update = flag.Bool("update", false, "rewrite golden files")
