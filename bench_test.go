@@ -262,6 +262,107 @@ func BenchmarkSweepReproduceGrid(b *testing.B) {
 	b.ReportMetric(float64(ok), "cells_ok")
 }
 
+// BenchmarkSessionRun measures the resumable engine end to end: open a
+// session on DB(2,7), step it in 8-round chunks to completion.
+func BenchmarkSessionRun(b *testing.B) {
+	net, err := systolic.New("debruijn", systolic.Degree(2), systolic.Diameter(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := protocols.PeriodicHalfDuplex(net.G)
+	ctx := context.Background()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		sess, err := systolic.NewEngine(net, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for !sess.Done() {
+			if _, err := sess.Step(ctx, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rounds = sess.Rounds()
+		sess.Close()
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkSessionCheckpoint measures Snapshot + JSON round trip + Restore
+// of a mid-flight DB(2,7) session — the cost of pausing and resuming.
+func BenchmarkSessionCheckpoint(b *testing.B) {
+	net, err := systolic.New("debruijn", systolic.Degree(2), systolic.Diameter(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := protocols.PeriodicHalfDuplex(net.G)
+	ctx := context.Background()
+	sess, err := systolic.NewEngine(net, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Step(ctx, 10); err != nil {
+		b.Fatal(err)
+	}
+	target, err := systolic.NewEngine(net, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer target.Close()
+	var buf bytes.Buffer
+	var size int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := systolic.WriteCheckpoint(&buf, sess.Snapshot()); err != nil {
+			b.Fatal(err)
+		}
+		size = buf.Len() // ReadCheckpoint drains the buffer below
+		ck, err := systolic.ReadCheckpoint(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := target.Restore(ck); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(size))
+}
+
+// BenchmarkSweepStreamReproduceGrid runs the reproduce grid through the
+// streaming sweep, draining results in completion order.
+func BenchmarkSweepStreamReproduceGrid(b *testing.B) {
+	jobs := []systolic.SweepJob{
+		{Label: "db-periodic", Kind: "debruijn",
+			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(5)},
+			Protocol: systolic.UseProtocol("periodic-half", 0)},
+		{Label: "wbf-periodic", Kind: "wbf",
+			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(4)},
+			Protocol: systolic.UseProtocol("periodic-half", 0)},
+		{Label: "kautz-full", Kind: "kautz",
+			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(4)},
+			Protocol: systolic.UseProtocol("periodic-full", 0)},
+		{Label: "q6-exchange", Kind: "hypercube",
+			Params:   []systolic.Param{systolic.Dimension(6)},
+			Protocol: systolic.UseProtocol("hypercube", 0)},
+	}
+	ctx := context.Background()
+	var ok int
+	for i := 0; i < b.N; i++ {
+		ok = 0
+		for res := range systolic.SweepStream(ctx, jobs, systolic.WithRoundBudget(200000)) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			if res.Report.Measured >= res.Report.LowerBound.Rounds {
+				ok++
+			}
+		}
+	}
+	b.ReportMetric(float64(ok), "cells_ok")
+}
+
 // BenchmarkSimulationEngine measures raw simulator throughput: periodic
 // full-duplex gossip on a 16×16 torus.
 func BenchmarkSimulationEngine(b *testing.B) {

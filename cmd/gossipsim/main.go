@@ -1,7 +1,7 @@
 // Command gossipsim builds a topology and a gossip protocol through the
-// public systolic API, simulates the protocol to completion, and reports
-// the measured time against the paper's lower bound (the upper-vs-lower
-// comparison of the evaluation).
+// public systolic API, drives a resumable simulation session to completion,
+// and reports the measured time against the paper's lower bound (the
+// upper-vs-lower comparison of the evaluation).
 //
 // Topology parameters are named; only the ones the chosen kind requires
 // are used (systolic.Lookup reports which):
@@ -11,10 +11,21 @@
 //	gossipsim -topology wbf -degree 2 -diameter 4 -protocol periodic-full
 //	gossipsim -topology path -nodes 32 -protocol zigzag
 //	gossipsim -topology grid -rows 4 -cols 5 -protocol greedy-half
+//
+// Long runs checkpoint and resume through the session API: -checkpoint FILE
+// writes a JSON checkpoint when the run stops (completion or budget), and
+// -resume FILE restores one before running — rebuild the same topology and
+// protocol flags, raise -budget, and the simulation continues where it
+// left off. -progress streams one JSON object per round to stdout
+// ({"round":…,"knowledge":…,"target":…}), the machine-readable twin of
+// -trace; the human-readable report moves to stderr so stdout stays pure
+// JSON lines.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +48,9 @@ func main() {
 	load := flag.String("load", "", "load the protocol from a schedule file instead of -protocol")
 	save := flag.String("save", "", "write the constructed protocol to a schedule file")
 	trace := flag.Bool("trace", false, "print the per-round dissemination curve")
+	progress := flag.Bool("progress", false, "stream per-round progress as JSON lines on stdout")
+	checkpoint := flag.String("checkpoint", "", "write a session checkpoint to this file when the run stops")
+	resume := flag.String("resume", "", "restore the session from this checkpoint file before running")
 	flag.Parse()
 
 	// Map the named flags onto the parameters the chosen kind requires.
@@ -108,26 +122,97 @@ func main() {
 
 	opts := []systolic.Option{systolic.WithRoundBudget(*budget)}
 	var curve []int
+	var observers []systolic.Observer
 	if *trace {
-		opts = append(opts, systolic.WithTrace(systolic.ObserverFunc(func(_, knowledge, _ int) {
+		observers = append(observers, systolic.ObserverFunc(func(_, knowledge, _ int) {
 			curve = append(curve, knowledge)
+		}))
+	}
+	if *progress {
+		enc := json.NewEncoder(os.Stdout)
+		observers = append(observers, systolic.ObserverFunc(func(round, knowledge, target int) {
+			enc.Encode(struct {
+				Round     int `json:"round"`
+				Knowledge int `json:"knowledge"`
+				Target    int `json:"target"`
+			}{round, knowledge, target})
+		}))
+	}
+	if len(observers) > 0 {
+		obs := observers
+		opts = append(opts, systolic.WithTrace(systolic.ObserverFunc(func(round, knowledge, target int) {
+			for _, o := range obs {
+				o.Round(round, knowledge, target)
+			}
 		})))
 	}
 
-	rep, err := systolic.Analyze(context.Background(), net, p, opts...)
+	// With -progress, stdout carries only the JSON lines; everything meant
+	// for humans goes to stderr.
+	human := os.Stdout
+	if *progress {
+		human = os.Stderr
+	}
+
+	sess, err := systolic.NewEngine(net, p, opts...)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if *trace {
-		fmt.Printf("trace:      knowledge per round %v (target %d)\n", curve, net.G.N()*net.G.N())
+	defer sess.Close()
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ck, err := systolic.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fatalf("resuming %s: %v", *resume, err)
+		}
+		if err := sess.Restore(ck); err != nil {
+			fatalf("resuming %s: %v", *resume, err)
+		}
+		fmt.Fprintf(human, "resumed:    %s at round %d (knowledge %d/%d)\n",
+			*resume, sess.Rounds(), sess.Knowledge(), sess.Target())
 	}
-	fmt.Printf("network:    %s (n=%d, arcs=%d)\n", net.Name, net.G.N(), net.G.M())
-	fmt.Printf("protocol:   %s (%v mode, period %d)\n", *proto, p.Mode, p.Period)
-	fmt.Printf("measured:   %d rounds\n", rep.Measured)
-	fmt.Printf("lowerbound: %v\n", rep.LowerBound)
-	fmt.Printf("delay DG:   %d activations, %d delay arcs, ‖M(λ₀)‖ = %.4f\n",
+
+	rep, err := sess.Analyze(context.Background())
+	if err != nil {
+		if errors.Is(err, systolic.ErrIncomplete) && *checkpoint != "" {
+			writeCheckpoint(sess, *checkpoint)
+			fmt.Fprintf(human, "incomplete: stopped at round %d with knowledge %d/%d; resume with -resume %s -budget N\n",
+				sess.Rounds(), sess.Knowledge(), sess.Target(), *checkpoint)
+			return
+		}
+		fatalf("%v", err)
+	}
+	if *checkpoint != "" {
+		writeCheckpoint(sess, *checkpoint)
+	}
+	if *trace {
+		fmt.Fprintf(human, "trace:      knowledge per round %v (target %d)\n", curve, sess.Target())
+	}
+	fmt.Fprintf(human, "network:    %s (n=%d, arcs=%d)\n", net.Name, net.G.N(), net.G.M())
+	fmt.Fprintf(human, "protocol:   %s (%v mode, period %d)\n", *proto, p.Mode, p.Period)
+	fmt.Fprintf(human, "measured:   %d rounds\n", rep.Measured)
+	fmt.Fprintf(human, "lowerbound: %v\n", rep.LowerBound)
+	fmt.Fprintf(human, "delay DG:   %d activations, %d delay arcs, ‖M(λ₀)‖ = %.4f\n",
 		rep.DelayVerts, rep.DelayArcs, rep.NormAtRoot)
-	fmt.Printf("Theorem 4.1 respected: %v\n", rep.TheoremRespected)
+	fmt.Fprintf(human, "Theorem 4.1 respected: %v\n", rep.TheoremRespected)
+}
+
+func writeCheckpoint(sess *systolic.Session, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("checkpoint: %v", err)
+	}
+	if err := systolic.WriteCheckpoint(f, sess.Snapshot()); err != nil {
+		f.Close()
+		fatalf("checkpoint: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("checkpoint: %v", err)
+	}
 }
 
 func fatalf(format string, args ...any) {

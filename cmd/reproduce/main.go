@@ -109,9 +109,10 @@ func report(measured int, err error) {
 	fmt.Printf("  separator verified: min distance %d meets its promise\n", measured)
 }
 
-// sweep fans the upper-vs-lower grid across GOMAXPROCS workers; results
-// come back in job order, so the printed table matches the old serial loop
-// byte for byte.
+// sweep fans the upper-vs-lower grid across GOMAXPROCS workers through the
+// streaming sweep engine. Results arrive in completion order and are held
+// back until their predecessors print, so the table matches the old serial
+// loop byte for byte while each row still prints as early as possible.
 func sweep() {
 	jobs := []systolic.SweepJob{
 		{Label: "periodic half-duplex", Kind: "debruijn",
@@ -133,25 +134,30 @@ func sweep() {
 			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(5)},
 			Protocol: systolic.UseProtocol("greedy-half", 100000)},
 	}
-	results, err := systolic.Sweep(context.Background(), jobs, systolic.WithRoundBudget(200000))
-	if err != nil {
-		fmt.Printf("  sweep: %v\n", err)
+	pending := make([]*systolic.SweepResult, len(jobs))
+	next := 0
+	for res := range systolic.SweepStream(context.Background(), jobs, systolic.WithRoundBudget(200000)) {
+		pending[res.Index] = &res
+		for next < len(jobs) && pending[next] != nil {
+			printSweepRow(pending[next])
+			pending[next] = nil
+			next++
+		}
+	}
+}
+
+func printSweepRow(res *systolic.SweepResult) {
+	if res.Err != nil {
+		fmt.Printf("  %s: %v\n", res.Label, res.Err)
 		failed = true
 		return
 	}
-	for _, res := range results {
-		if res.Err != nil {
-			fmt.Printf("  %s: %v\n", res.Label, res.Err)
-			failed = true
-			continue
-		}
-		rep := res.Report
-		ok := "ok"
-		if rep.Measured < rep.LowerBound.Rounds || !rep.TheoremRespected {
-			ok = "VIOLATION"
-			failed = true
-		}
-		fmt.Printf("  %-10s %-22s n=%-4d measured %4d >= bound %3d  norm@root %.4f  %s\n",
-			res.Network, res.Label, res.N, rep.Measured, rep.LowerBound.Rounds, rep.NormAtRoot, ok)
+	rep := res.Report
+	ok := "ok"
+	if rep.Measured < rep.LowerBound.Rounds || !rep.TheoremRespected {
+		ok = "VIOLATION"
+		failed = true
 	}
+	fmt.Printf("  %-10s %-22s n=%-4d measured %4d >= bound %3d  norm@root %.4f  %s\n",
+		res.Network, res.Label, res.N, rep.Measured, rep.LowerBound.Rounds, rep.NormAtRoot, ok)
 }

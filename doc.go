@@ -3,11 +3,14 @@
 // Computation 196, 2005).
 //
 // The public API is the top-level systolic package (repro/systolic): a
-// self-registering topology catalog instantiated from named parameters, the
-// option-based context-aware Analyze/Simulate/Evaluate entry points with
-// JSON-serializable Report/Bound results, and a parallel Sweep engine that
-// fans evaluation grids across a worker pool with deterministic result
-// ordering. See README.md for a quickstart.
+// self-registering topology catalog instantiated from named parameters, a
+// resumable zero-allocation simulation engine (NewEngine/Session with
+// Step/Run/Snapshot/Restore and JSON checkpoints, sharded across a worker
+// pool on large networks), option-based context-aware one-shot wrappers
+// (Analyze/Simulate/AnalyzeBroadcast) with JSON-serializable Report/Bound
+// results, and a parallel sweep engine (SweepStream streams results as jobs
+// finish; Sweep returns them in deterministic job order). See README.md for
+// a quickstart.
 //
 // The substrates live under internal/: the delay-digraph machinery
 // (internal/delay), the numeric lower-bound solvers (internal/bounds), the

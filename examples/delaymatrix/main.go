@@ -6,8 +6,8 @@
 //   - the Lemma 4.3 norm cap λ·√p⌈s/2⌉·√p⌊s/2⌋,
 //   - Theorem 4.1's inequality against the measured gossip time.
 //
-// The simulation runs through the public systolic API with a WithTrace
-// observer recording the dissemination curve.
+// The simulation runs through a systolic.Session stepped one round at a
+// time, reading the dissemination curve off the live engine.
 package main
 
 import (
@@ -32,17 +32,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var curve []int
-	res, err := systolic.Simulate(context.Background(), net, p,
-		systolic.WithRoundBudget(10000),
-		systolic.WithTrace(systolic.ObserverFunc(func(_, knowledge, _ int) {
-			curve = append(curve, knowledge)
-		})))
+	sess, err := systolic.NewEngine(net, p, systolic.WithRoundBudget(10000))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
+	var curve []int
+	for !sess.Done() {
+		if _, err := sess.Step(context.Background(), 1); err != nil {
+			log.Fatal(err)
+		}
+		curve = append(curve, sess.Knowledge())
+	}
+	res := systolic.Result{Rounds: sess.Rounds(), N: n}
 	fmt.Printf("PathZigZag on P%d: gossip completes in %d rounds (s=%d systolic)\n", n, res.Rounds, p.Period)
-	fmt.Printf("Dissemination curve (total knowledge per round, target %d): %v\n\n", n*n, curve)
+	fmt.Printf("Dissemination curve (total knowledge per round, target %d): %v\n", n*n, curve)
+	fmt.Printf("Frontier (newly learned items per round): %v\n\n", sess.Frontier())
 
 	dg, err := delay.Build(net.G, p, res.Rounds)
 	if err != nil {

@@ -10,44 +10,10 @@ func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
 func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
 func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
 
-// orInto merges src into b and reports whether b changed.
-func (b bitset) orInto(src bitset) bool {
-	changed := false
-	for i := range b {
-		old := b[i]
-		b[i] |= src[i]
-		if b[i] != old {
-			changed = true
-		}
-	}
-	return changed
-}
-
 func (b bitset) count() int {
 	c := 0
 	for _, w := range b {
 		c += bits.OnesCount64(w)
 	}
 	return c
-}
-
-func (b bitset) clone() bitset {
-	c := make(bitset, len(b))
-	copy(c, b)
-	return c
-}
-
-// full reports whether the first n bits are all set.
-func (b bitset) full(n int) bool {
-	for i := 0; i < n/64; i++ {
-		if b[i] != ^uint64(0) {
-			return false
-		}
-	}
-	if r := n % 64; r != 0 {
-		if b[n/64] != (1<<r)-1 {
-			return false
-		}
-	}
-	return true
 }

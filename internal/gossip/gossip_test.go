@@ -232,22 +232,17 @@ func TestKnowledgeMonotone(t *testing.T) {
 	_ = g
 }
 
-func TestBitsetFull(t *testing.T) {
+func TestBitsetSetHasCount(t *testing.T) {
 	b := newBitset(70)
-	for i := 0; i < 70; i++ {
+	for i := 0; i < 70; i += 2 {
 		b.set(i)
 	}
-	if !b.full(70) {
-		t.Error("full bitset not detected")
+	for i := 0; i < 70; i++ {
+		if b.has(i) != (i%2 == 0) {
+			t.Fatalf("has(%d) = %v", i, b.has(i))
+		}
 	}
-	b2 := newBitset(64)
-	for i := 0; i < 63; i++ {
-		b2.set(i)
-	}
-	if b2.full(64) {
-		t.Error("incomplete bitset reported full")
-	}
-	if b2.count() != 63 {
-		t.Errorf("count = %d", b2.count())
+	if b.count() != 35 {
+		t.Errorf("count = %d, want 35", b.count())
 	}
 }

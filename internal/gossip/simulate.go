@@ -1,8 +1,10 @@
 package gossip
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/graph"
 )
@@ -13,86 +15,189 @@ var ErrIncomplete = errors.New("gossip: protocol did not complete within the rou
 
 // State tracks, for every processor, the set of items it currently knows.
 // Item i originates at processor i.
+//
+// The knowledge sets live in one flat word array (words consecutive uint64
+// per vertex) with a same-sized shadow buffer for beginning-of-round
+// snapshots, so Step performs zero allocations in steady state. Per-vertex
+// item counts, the total knowledge and the number of saturated vertices are
+// maintained incrementally, making TotalKnowledge, Count, GossipComplete
+// and BroadcastComplete O(1).
 type State struct {
-	n    int
-	know []bitset
+	n     int // processors
+	items int // item-space size: n for gossip, 1 for broadcast
+	words int // uint64 words per vertex
+
+	cur  []uint64 // n*words flattened knowledge sets
+	prev []uint64 // beginning-of-round shadow of the senders
+
+	counts []int32 // items known per vertex
+	know   int64   // sum of counts
+	full   int64   // vertices with counts == items
+
+	pool *Pool // optional sharded stepping; nil means serial
+}
+
+func newState(n, items int) *State {
+	words := (items + 63) / 64
+	s := &State{
+		n:      n,
+		items:  items,
+		words:  words,
+		cur:    make([]uint64, n*words),
+		prev:   make([]uint64, n*words),
+		counts: make([]int32, n),
+	}
+	return s
 }
 
 // NewState returns the initial gossip state in which every processor knows
 // exactly its own item.
 func NewState(n int) *State {
-	s := &State{n: n, know: make([]bitset, n)}
+	s := newState(n, n)
 	for v := 0; v < n; v++ {
-		s.know[v] = newBitset(n)
-		s.know[v].set(v)
+		s.cur[v*s.words+v/64] |= 1 << (v % 64)
+		s.counts[v] = 1
+		s.know++
+		if int(s.counts[v]) == s.items {
+			s.full++
+		}
 	}
 	return s
 }
 
 // NewBroadcastState returns a state in which only the source knows one item;
-// it is used to measure broadcasting time b(G).
+// it is used to measure broadcasting time b(G). FrontierState is the
+// packed alternative (one bit per vertex instead of one word).
 func NewBroadcastState(n, source int) *State {
-	s := &State{n: n, know: make([]bitset, n)}
-	for v := 0; v < n; v++ {
-		s.know[v] = newBitset(1)
-	}
-	s.know[source].set(0)
+	s := newState(n, 1)
+	s.cur[source*s.words] = 1
+	s.counts[source] = 1
+	s.know = 1
+	s.full = 1 // the source is saturated (items == 1)
 	return s
 }
 
+// UsePool shards subsequent Steps across the pool's workers; passing nil
+// reverts to serial stepping. Results are identical either way.
+func (s *State) UsePool(p *Pool) { s.pool = p }
+
 // Knows reports whether processor v currently knows item i.
-func (s *State) Knows(v, i int) bool { return s.know[v].has(i) }
+func (s *State) Knows(v, i int) bool {
+	return s.cur[v*s.words+i/64]&(1<<(i%64)) != 0
+}
 
 // Count returns how many items processor v knows.
-func (s *State) Count(v int) int { return s.know[v].count() }
+func (s *State) Count(v int) int { return int(s.counts[v]) }
 
 // TotalKnowledge returns the sum over processors of known items; it is
 // strictly monotone under Step until completion.
-func (s *State) TotalKnowledge() int {
-	t := 0
-	for _, k := range s.know {
-		t += k.count()
-	}
-	return t
-}
+func (s *State) TotalKnowledge() int { return int(s.know) }
 
 // Step applies one communication round: for each active arc (x, y), y learns
 // everything x knew at the beginning of the round. All transfers in a round
 // are simultaneous; because rounds are matchings a vertex receives on at
-// most one arc, but the implementation still snapshots senders to be correct
-// for arbitrary arc sets (e.g. full-duplex opposite pairs).
+// most one arc, but the implementation is still correct for arbitrary arc
+// sets (e.g. full-duplex opposite pairs): every sender's words are copied
+// into the shadow buffer before any merge, so opposite arcs exchange the
+// beginning-of-round sets as the model requires.
 func (s *State) Step(round []graph.Arc) {
-	// Snapshot each sender's knowledge so opposite arcs exchange the
-	// *beginning-of-round* sets, as the model requires.
-	snapshots := make(map[int]bitset, len(round))
+	if s.pool != nil {
+		s.pool.step(s, round)
+		return
+	}
+	w := s.words
 	for _, a := range round {
-		if _, ok := snapshots[a.From]; !ok {
-			snapshots[a.From] = s.know[a.From].clone()
+		o := a.From * w
+		copy(s.prev[o:o+w], s.cur[o:o+w])
+	}
+	for _, a := range round {
+		gained, becameFull := s.recv(a)
+		s.know += int64(gained)
+		if becameFull {
+			s.full++
 		}
 	}
-	for _, a := range round {
-		s.know[a.To].orInto(snapshots[a.From])
+}
+
+// recv merges the beginning-of-round set of a.From into a.To and updates
+// the per-vertex count. It returns the number of newly learned items and
+// whether a.To just reached full knowledge. Callers own the aggregation of
+// the returns into know/full (serial directly, sharded via atomics) —
+// counts[a.To] itself is only ever touched by a.To's owner.
+func (s *State) recv(a graph.Arc) (gained int, becameFull bool) {
+	w := s.words
+	src := s.prev[a.From*w : a.From*w+w]
+	dst := s.cur[a.To*w : a.To*w+w : a.To*w+w]
+	for i, sw := range src {
+		old := dst[i]
+		if nw := old | sw; nw != old {
+			dst[i] = nw
+			gained += bits.OnesCount64(nw &^ old)
+		}
 	}
+	if gained > 0 {
+		s.counts[a.To] += int32(gained)
+		becameFull = int(s.counts[a.To]) == s.items
+	}
+	return gained, becameFull
 }
 
 // GossipComplete reports whether every processor knows every item.
-func (s *State) GossipComplete() bool {
-	for _, k := range s.know {
-		if !k.full(s.n) {
+func (s *State) GossipComplete() bool { return s.full == int64(s.n) }
+
+// BroadcastComplete reports whether every processor knows item 0.
+func (s *State) BroadcastComplete() bool {
+	if s.items == 1 {
+		return s.know == int64(s.n)
+	}
+	for v := 0; v < s.n; v++ {
+		if s.cur[v*s.words]&1 == 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// BroadcastComplete reports whether every processor knows item 0.
-func (s *State) BroadcastComplete() bool {
-	for _, k := range s.know {
-		if !k.has(0) {
-			return false
+// Export serializes the knowledge sets as little-endian words, the payload
+// of a session checkpoint. The layout is n blocks of words uint64 each.
+func (s *State) Export() []byte {
+	out := make([]byte, len(s.cur)*8)
+	for i, w := range s.cur {
+		binary.LittleEndian.PutUint64(out[i*8:], w)
+	}
+	return out
+}
+
+// Import restores knowledge sets serialized by Export and recomputes the
+// incremental counters from scratch. It rejects payloads of the wrong size
+// and payloads with bits outside the item space (a corrupt or mismatched
+// checkpoint).
+func (s *State) Import(data []byte) error {
+	if len(data) != len(s.cur)*8 {
+		return fmt.Errorf("gossip: state payload is %d bytes, want %d", len(data), len(s.cur)*8)
+	}
+	for i := range s.cur {
+		s.cur[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	s.know, s.full = 0, 0
+	tail := s.items % 64
+	for v := 0; v < s.n; v++ {
+		if tail != 0 {
+			if s.cur[v*s.words+s.words-1]&^(1<<tail-1) != 0 {
+				return fmt.Errorf("gossip: state payload has bits beyond item %d at vertex %d", s.items-1, v)
+			}
+		}
+		c := 0
+		for _, w := range s.cur[v*s.words : (v+1)*s.words] {
+			c += bits.OnesCount64(w)
+		}
+		s.counts[v] = int32(c)
+		s.know += int64(c)
+		if c == s.items {
+			s.full++
 		}
 	}
-	return true
+	return nil
 }
 
 // Result reports the outcome of a simulation.
@@ -127,7 +232,8 @@ func Simulate(g *graph.Digraph, p *Protocol, maxRounds int) (Result, error) {
 }
 
 // SimulateBroadcast runs p on g until the item of source reaches every
-// processor, up to maxRounds.
+// processor, up to maxRounds. It uses the packed frontier backend (one bit
+// per vertex).
 func SimulateBroadcast(g *graph.Digraph, p *Protocol, source, maxRounds int) (Result, error) {
 	if err := p.Validate(g); err != nil {
 		return Result{}, err
@@ -136,13 +242,13 @@ func SimulateBroadcast(g *graph.Digraph, p *Protocol, source, maxRounds int) (Re
 	if !p.Systolic() && p.Len() < budget {
 		budget = p.Len()
 	}
-	st := NewBroadcastState(g.N(), source)
-	if st.BroadcastComplete() {
+	st := NewFrontierState(g.N(), source)
+	if st.Complete() {
 		return Result{Rounds: 0, N: g.N()}, nil
 	}
 	for r := 0; r < budget; r++ {
 		st.Step(p.Round(r))
-		if st.BroadcastComplete() {
+		if st.Complete() {
 			return Result{Rounds: r + 1, N: g.N()}, nil
 		}
 	}
@@ -155,28 +261,34 @@ func SimulateBroadcast(g *graph.Digraph, p *Protocol, source, maxRounds int) (Re
 // GossipComplete after running all rounds but is computed independently
 // (by forward propagation of reachability sets per source), so tests can
 // cross-check the simulator.
+//
+// The reachability and frontier buffers are allocated once and shared
+// across sources (a per-source stamp replaces clearing), each source's
+// round scan bails as soon as its item has certified every vertex, and a
+// failed source aborts the whole check immediately.
 func CompletionCertificate(g *graph.Digraph, p *Protocol, t int) bool {
 	n := g.N()
+	reached := make([]int, n) // reached[v] == x+1: the item of x can be at v
+	gained := make([]int, 0, n)
 	for x := 0; x < n; x++ {
-		// reached[v] = true if the item of x can be at v by the current round.
-		reached := make([]bool, n)
-		reached[x] = true
+		stamp := x + 1
+		reached[x] = stamp
 		cnt := 1
 		for r := 0; r < t && cnt < n; r++ {
 			round := p.Round(r)
 			// Items move along arcs whose tail already holds them. Within a
 			// single round an item crosses at most one arc (matching), and
-			// the snapshot below enforces "beginning of round" semantics.
-			var gained []int
+			// staging the gains enforces "beginning of round" semantics.
+			gained = gained[:0]
 			for _, a := range round {
-				if reached[a.From] && !reached[a.To] {
+				if reached[a.From] == stamp && reached[a.To] != stamp {
 					gained = append(gained, a.To)
 				}
 			}
 			for _, v := range gained {
-				reached[v] = true
-				cnt++
+				reached[v] = stamp
 			}
+			cnt += len(gained)
 		}
 		if cnt < n {
 			return false

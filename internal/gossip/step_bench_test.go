@@ -1,0 +1,226 @@
+// Hot-path benchmarks and invariants for the flat double-buffered gossip
+// core: Step must not allocate in steady state, the sharded Step must be
+// byte-identical to the serial one, and the packed frontier backend must
+// agree with the full bitset state on broadcasts. The benchmarks live in an
+// external test package so they can drive the core through real protocols
+// (importing repro/internal/protocols from package gossip would cycle).
+package gossip_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/gossip"
+	"repro/internal/protocols"
+	"repro/internal/topology"
+)
+
+// BenchmarkStep measures the serial hot path on the 4096-vertex de Bruijn
+// graph DB(2,12) and proves it allocates nothing: the double-buffered word
+// array replaces the old per-round map of cloned bitsets.
+func BenchmarkStep(b *testing.B) {
+	db := topology.NewDeBruijn(2, 12)
+	p := protocols.PeriodicHalfDuplex(db.G)
+	st := gossip.NewState(db.G.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step(p.Round(i))
+	}
+}
+
+// BenchmarkStepSharded is BenchmarkStep with the worker pool attached —
+// the configuration the engine selects above its shard threshold. Compare
+// with BenchmarkStep to see the speedup on ≥4096-vertex instances.
+func BenchmarkStepSharded(b *testing.B) {
+	db := topology.NewDeBruijn(2, 12)
+	p := protocols.PeriodicHalfDuplex(db.G)
+	st := gossip.NewState(db.G.N())
+	pool := gossip.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	st.UsePool(pool)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step(p.Round(i))
+	}
+}
+
+// BenchmarkCompletionCertificate measures the independent certificate
+// checker on DB(2,8) with its hoisted, stamp-reset buffers.
+func BenchmarkCompletionCertificate(b *testing.B) {
+	db := topology.NewDeBruijn(2, 8)
+	p := protocols.PeriodicHalfDuplex(db.G)
+	res, err := gossip.Simulate(db.G, p, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !gossip.CompletionCertificate(db.G, p, res.Rounds) {
+			b.Fatal("certificate rejected a completed run")
+		}
+	}
+}
+
+// BenchmarkFrontierStep measures the packed broadcast backend on DB(2,12).
+func BenchmarkFrontierStep(b *testing.B) {
+	db := topology.NewDeBruijn(2, 12)
+	p := protocols.BroadcastSchedule(db.G, 0)
+	st := gossip.NewFrontierState(db.G.N(), 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step(p.Round(i % p.Len()))
+	}
+}
+
+// TestStepZeroAlloc pins the satellite requirement: a steady-state Step
+// performs zero allocations (serial and sharded alike).
+func TestStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	db := topology.NewDeBruijn(2, 8)
+	p := protocols.PeriodicHalfDuplex(db.G)
+
+	st := gossip.NewState(db.G.N())
+	r := 0
+	if got := testing.AllocsPerRun(50, func() {
+		st.Step(p.Round(r))
+		r++
+	}); got != 0 {
+		t.Errorf("serial Step allocates %v objects per round, want 0", got)
+	}
+
+	sharded := gossip.NewState(db.G.N())
+	pool := gossip.NewPool(4)
+	defer pool.Close()
+	sharded.UsePool(pool)
+	r = 0
+	if got := testing.AllocsPerRun(50, func() {
+		sharded.Step(p.Round(r))
+		r++
+	}); got != 0 {
+		t.Errorf("sharded Step allocates %v objects per round, want 0", got)
+	}
+}
+
+// TestShardedStepMatchesSerial: the sharded core is byte-identical to the
+// serial one after every round, for worker counts 1..8.
+func TestShardedStepMatchesSerial(t *testing.T) {
+	db := topology.NewDeBruijn(2, 7)
+	p := protocols.PeriodicHalfDuplex(db.G)
+	n := db.G.N()
+
+	serial := gossip.NewState(n)
+	var serialDumps [][]byte
+	for r := 0; !serial.GossipComplete(); r++ {
+		serial.Step(p.Round(r))
+		serialDumps = append(serialDumps, serial.Export())
+	}
+
+	for workers := 1; workers <= 8; workers++ {
+		pool := gossip.NewPool(workers)
+		st := gossip.NewState(n)
+		st.UsePool(pool)
+		for r := 0; r < len(serialDumps); r++ {
+			st.Step(p.Round(r))
+			if !bytes.Equal(st.Export(), serialDumps[r]) {
+				t.Fatalf("workers=%d: state diverged from serial at round %d", workers, r+1)
+			}
+			if st.TotalKnowledge() != countBits(serialDumps[r]) {
+				t.Fatalf("workers=%d: incremental knowledge counter drifted at round %d", workers, r+1)
+			}
+		}
+		if !st.GossipComplete() {
+			t.Fatalf("workers=%d: sharded run did not complete with the serial schedule", workers)
+		}
+		pool.Close()
+	}
+}
+
+func countBits(dump []byte) int {
+	c := 0
+	for _, b := range dump {
+		for ; b != 0; b &= b - 1 {
+			c++
+		}
+	}
+	return c
+}
+
+// TestFrontierMatchesBroadcastState: the packed frontier backend agrees
+// with the full State broadcast representation round by round.
+func TestFrontierMatchesBroadcastState(t *testing.T) {
+	db := topology.NewDeBruijn(2, 6)
+	n := db.G.N()
+	p := protocols.BroadcastSchedule(db.G, 3)
+	full := gossip.NewBroadcastState(n, 3)
+	packed := gossip.NewFrontierState(n, 3)
+	for r := 0; r < 10*p.Len() && !packed.Complete(); r++ {
+		round := p.Round(r % p.Len())
+		full.Step(round)
+		gained := packed.Step(round)
+		if gained < 0 {
+			t.Fatalf("round %d: negative frontier growth", r+1)
+		}
+		for v := 0; v < n; v++ {
+			if full.Knows(v, 0) != packed.Informed(v) {
+				t.Fatalf("round %d: vertex %d informed disagreement (full %v, packed %v)",
+					r+1, v, full.Knows(v, 0), packed.Informed(v))
+			}
+		}
+		if full.TotalKnowledge() != packed.InformedCount() {
+			t.Fatalf("round %d: informed count disagreement", r+1)
+		}
+		if full.BroadcastComplete() != packed.Complete() {
+			t.Fatalf("round %d: completion disagreement", r+1)
+		}
+	}
+	if !packed.Complete() {
+		t.Fatal("broadcast schedule never completed")
+	}
+}
+
+// TestStateExportImport: a snapshot round-trips exactly and corrupt
+// payloads are rejected.
+func TestStateExportImport(t *testing.T) {
+	db := topology.NewDeBruijn(2, 5)
+	p := protocols.PeriodicHalfDuplex(db.G)
+	st := gossip.NewState(db.G.N())
+	for r := 0; r < 7; r++ {
+		st.Step(p.Round(r))
+	}
+	dump := st.Export()
+
+	back := gossip.NewState(db.G.N())
+	if err := back.Import(dump); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Export(), dump) {
+		t.Fatal("export/import round trip changed the state")
+	}
+	if back.TotalKnowledge() != st.TotalKnowledge() {
+		t.Fatalf("imported knowledge %d, want %d", back.TotalKnowledge(), st.TotalKnowledge())
+	}
+	for r := 7; !st.GossipComplete(); r++ {
+		st.Step(p.Round(r))
+		back.Step(p.Round(r))
+	}
+	if !back.GossipComplete() {
+		t.Fatal("imported state did not resume to completion in lockstep")
+	}
+
+	if err := back.Import(dump[:len(dump)-1]); err == nil {
+		t.Error("short payload was accepted")
+	}
+	bad := append([]byte(nil), dump...)
+	bad[len(bad)-1] = 0xFF // bits beyond item n-1 in the last word
+	if db.G.N()%64 != 0 {
+		if err := back.Import(bad); err == nil {
+			t.Error("payload with out-of-range bits was accepted")
+		}
+	}
+}

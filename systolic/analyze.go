@@ -45,10 +45,26 @@ type Report struct {
 // the WithRoundBudget cap), builds the delay digraph of the executed
 // prefix, computes the delay-matrix norm at the root of the protocol's own
 // period bound, and checks Theorem 4.1 against the measurement. The context
-// cancels the simulation between rounds.
+// cancels the simulation between rounds. It is a convenience wrapper over
+// NewEngine + Session.Analyze.
 func Analyze(ctx context.Context, net *Network, p *Protocol, opts ...Option) (*Report, error) {
-	cfg := newConfig(opts)
-	res, err := simulate(ctx, net, p, cfg, false, 0)
+	sess, err := NewEngine(net, p, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("systolic: analyze %s: %w", net.Name, err)
+	}
+	defer sess.Close()
+	return sess.Analyze(ctx)
+}
+
+// Analyze runs the session to completion — resuming from wherever it is,
+// restored rounds included — and builds the full report against the paper's
+// bounds. It errors on broadcast sessions (use AnalyzeBroadcast).
+func (s *Session) Analyze(ctx context.Context) (*Report, error) {
+	if s.broadcast {
+		return nil, fmt.Errorf("systolic: analyze %s: broadcast sessions produce BroadcastReports", s.net.Name)
+	}
+	net, p := s.net, s.proto
+	res, err := s.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("systolic: analyze %s: %w", net.Name, err)
 	}

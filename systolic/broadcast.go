@@ -6,7 +6,6 @@ import (
 	"math"
 
 	"repro/internal/bounds"
-	"repro/internal/protocols"
 )
 
 // BroadcastReport compares a measured broadcast time against the
@@ -28,11 +27,27 @@ type BroadcastReport struct {
 // AnalyzeBroadcast builds the BFS-tree broadcast schedule from source,
 // simulates it (context-aware, within the WithRoundBudget cap), and
 // evaluates the broadcasting lower bound. The measured time always
-// dominates the bound (tests rely on this).
+// dominates the bound (tests rely on this). It is a convenience wrapper
+// over NewBroadcastEngine + Session.AnalyzeBroadcast; the session runs the
+// packed frontier backend, one bit per vertex.
 func AnalyzeBroadcast(ctx context.Context, net *Network, source int, opts ...Option) (*BroadcastReport, error) {
-	cfg := newConfig(opts)
-	p := protocols.BroadcastSchedule(net.G, source)
-	res, err := simulate(ctx, net, p, cfg, true, source)
+	sess, err := NewBroadcastEngine(net, source, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("systolic: broadcast on %s: %w", net.Name, err)
+	}
+	defer sess.Close()
+	return sess.AnalyzeBroadcast(ctx)
+}
+
+// AnalyzeBroadcast runs the broadcast session to completion (resuming from
+// wherever it is) and evaluates the broadcasting lower bound. It errors on
+// gossip sessions (use Analyze).
+func (s *Session) AnalyzeBroadcast(ctx context.Context) (*BroadcastReport, error) {
+	if !s.broadcast {
+		return nil, fmt.Errorf("systolic: broadcast on %s: gossip sessions produce Reports", s.net.Name)
+	}
+	net, source := s.net, s.source
+	res, err := s.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("systolic: broadcast on %s: %w", net.Name, err)
 	}

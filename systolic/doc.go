@@ -1,7 +1,7 @@
 // Package systolic is the public API of the systolic-gossip reproduction
 // ("Lower bounds on systolic gossip", Flammini & Pérennès, IPPS 1997).
 //
-// It exposes the paper's machinery through three pillars:
+// It exposes the paper's machinery through four pillars:
 //
 //   - A self-registering topology catalog. Every network family is a
 //     Topology registered under a kind name and instantiated from named
@@ -12,21 +12,41 @@
 //     Third-party families plug in via Register without touching this
 //     package.
 //
-//   - Option-based, context-aware analysis entry points. Analyze validates
-//     a protocol, simulates it to completion, builds its delay digraph and
-//     checks the paper's inequalities; Simulate runs the dissemination
-//     alone. Both honour context cancellation and accept functional
-//     options (WithRoundBudget, WithTrace):
+//   - A resumable simulation engine. NewEngine validates a protocol on a
+//     network and returns a *Session that can be stepped in arbitrary
+//     chunks, observed mid-flight, snapshotted to a JSON checkpoint,
+//     restored and resumed deterministically:
+//
+//     sess, err := systolic.NewEngine(net, p)
+//     for !sess.Done() {
+//     _, err = sess.Step(ctx, 100)        // 100 rounds at a time
+//     fmt.Println(sess.Rounds(), sess.Knowledge(), sess.Target())
+//     }
+//     ck := sess.Snapshot()               // JSON-serializable checkpoint
+//
+//     Underneath, knowledge lives in a flat double-buffered word array —
+//     a steady-state Step allocates nothing — and sessions on networks
+//     with at least DefaultShardThreshold vertices shard each round across
+//     a worker pool (WithWorkers), byte-identical to serial. Session.Frontier
+//     reports the per-round newly-informed counts; NewBroadcastEngine runs
+//     broadcasts on a packed one-bit-per-vertex frontier backend.
+//
+//   - Option-based, context-aware one-shot wrappers. Simulate, Analyze and
+//     AnalyzeBroadcast are conveniences over a session run to completion:
+//     Analyze additionally builds the delay digraph of the executed prefix
+//     and checks the paper's inequalities. All honour context cancellation
+//     and the WithRoundBudget/WithTrace options:
 //
 //     rep, err := systolic.Analyze(ctx, net, p, systolic.WithRoundBudget(100000))
 //
 //     The returned Report and Bound types are JSON-serializable and shared
 //     by the CLIs, the benchmarks and the golden tests.
 //
-//   - A parallel Sweep engine. Sweep fans a grid of (topology × protocol)
-//     evaluations across a worker pool (GOMAXPROCS workers by default) and
-//     returns results in deterministic job order, so parallel runs are
-//     byte-identical to serial ones.
+//   - A parallel sweep engine. SweepStream fans a grid of (topology ×
+//     protocol) evaluations across a worker pool (GOMAXPROCS workers by
+//     default) and streams results as jobs complete; Sweep is its barrier
+//     counterpart, returning results in deterministic job order so parallel
+//     runs are byte-identical to serial ones.
 //
 // Lower bounds are evaluated with Evaluate (Corollary 4.4, Theorem 5.1 and
 // the Section 6 full-duplex bounds, with the Lemma 3.1 separator parameters

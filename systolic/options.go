@@ -24,13 +24,18 @@ type ObserverFunc func(round, knowledge, target int)
 func (f ObserverFunc) Round(round, knowledge, target int) { f(round, knowledge, target) }
 
 type config struct {
-	budget   int
-	observer Observer
-	workers  int
+	budget         int
+	observer       Observer
+	workers        int
+	shardThreshold int
 }
 
 func newConfig(opts []Option) config {
-	cfg := config{budget: DefaultRoundBudget, workers: runtime.GOMAXPROCS(0)}
+	cfg := config{
+		budget:         DefaultRoundBudget,
+		workers:        runtime.GOMAXPROCS(0),
+		shardThreshold: DefaultShardThreshold,
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -39,6 +44,9 @@ func newConfig(opts []Option) config {
 	}
 	if cfg.workers < 1 {
 		cfg.workers = 1
+	}
+	if cfg.shardThreshold < 1 {
+		cfg.shardThreshold = 1
 	}
 	return cfg
 }
@@ -55,6 +63,14 @@ func WithRoundBudget(n int) Option { return func(c *config) { c.budget = n } }
 // round — the hook behind dissemination curves and progress displays.
 func WithTrace(o Observer) Option { return func(c *config) { c.observer = o } }
 
-// WithWorkers overrides the Sweep worker-pool size (default GOMAXPROCS).
-// It has no effect on single-run entry points.
+// WithWorkers overrides the worker-pool size (default GOMAXPROCS): the
+// number of concurrent jobs in Sweep/SweepStream, and the number of
+// stepping goroutines a session shards across once the network reaches the
+// shard threshold. WithWorkers(1) forces serial execution everywhere.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithShardThreshold overrides the vertex count at which a multi-worker
+// session shards Step across its pool (default DefaultShardThreshold).
+// Results are byte-identical to serial either way; lower it only to force
+// sharding on small instances (tests do).
+func WithShardThreshold(n int) Option { return func(c *config) { c.shardThreshold = n } }

@@ -2,7 +2,6 @@ package systolic
 
 import (
 	"context"
-	"fmt"
 
 	"repro/internal/gossip"
 )
@@ -12,57 +11,18 @@ import (
 type Result = gossip.Result
 
 // Simulate runs p on the network until gossip completes, within the round
-// budget. The protocol is validated first; for a systolic protocol the
-// period repeats as needed, for a finite one the explicit rounds are the
-// budget (capped by WithRoundBudget). The context is checked every round,
-// so long simulations cancel promptly; an installed WithTrace observer sees
-// the dissemination curve as it unfolds.
+// budget. It is a convenience wrapper over NewEngine + Session.Run: the
+// protocol is validated first; for a systolic protocol the period repeats
+// as needed, for a finite one the explicit rounds are the budget (capped by
+// WithRoundBudget). The context is checked every round, so long simulations
+// cancel promptly; an installed WithTrace observer sees the dissemination
+// curve as it unfolds. Callers that need to pause, checkpoint or resume use
+// NewEngine directly.
 func Simulate(ctx context.Context, net *Network, p *Protocol, opts ...Option) (Result, error) {
-	cfg := newConfig(opts)
-	return simulate(ctx, net, p, cfg, false, 0)
-}
-
-// simulate is the shared engine behind Simulate, Analyze and
-// AnalyzeBroadcast (broadcast == true measures item dissemination from
-// source instead of all-to-all gossip).
-func simulate(ctx context.Context, net *Network, p *Protocol, cfg config, broadcast bool, source int) (Result, error) {
-	g := net.G
-	if err := p.Validate(g); err != nil {
+	sess, err := NewEngine(net, p, opts...)
+	if err != nil {
 		return Result{}, err
 	}
-	budget := cfg.budget
-	if !p.Systolic() && p.Len() < budget {
-		budget = p.Len()
-	}
-	n := g.N()
-	var st *gossip.State
-	target := n * n
-	if broadcast {
-		st = gossip.NewBroadcastState(n, source)
-		target = n
-	} else {
-		st = gossip.NewState(n)
-	}
-	done := func() bool {
-		if broadcast {
-			return st.BroadcastComplete()
-		}
-		return st.GossipComplete()
-	}
-	if done() { // n ≤ 1
-		return Result{Rounds: 0, N: n}, nil
-	}
-	for r := 0; r < budget; r++ {
-		if err := ctx.Err(); err != nil {
-			return Result{Rounds: r, N: n}, fmt.Errorf("systolic: simulate %s: %w", net.Name, err)
-		}
-		st.Step(p.Round(r))
-		if cfg.observer != nil {
-			cfg.observer.Round(r+1, st.TotalKnowledge(), target)
-		}
-		if done() {
-			return Result{Rounds: r + 1, N: n}, nil
-		}
-	}
-	return Result{Rounds: budget, N: n}, fmt.Errorf("%w (budget %d)", ErrIncomplete, budget)
+	defer sess.Close()
+	return sess.Run(ctx)
 }

@@ -23,7 +23,8 @@ type SweepJob struct {
 // sweep never started.
 type SweepResult struct {
 	// Index is the job's position in the input grid; Sweep returns results
-	// in input order, so results[i].Index == i always holds.
+	// in input order, so results[i].Index == i always holds. SweepStream
+	// emits in completion order — reorder by Index if needed.
 	Index int `json:"index"`
 	// Label echoes the job label.
 	Label string `json:"label"`
@@ -36,19 +37,19 @@ type SweepResult struct {
 	Err error `json:"-"`
 }
 
-// Sweep fans the job grid across a worker pool (GOMAXPROCS workers by
-// default, WithWorkers to override) and returns one result per job, in job
-// order — the output is deterministic and byte-identical to a serial run
-// regardless of worker count or scheduling. Per-job failures are recorded
-// in SweepResult.Err and do not stop the sweep; cancelling the context
-// stops the grid mid-flight, marks unstarted jobs with the context error,
-// and returns that error.
-func Sweep(ctx context.Context, jobs []SweepJob, opts ...Option) ([]SweepResult, error) {
+// SweepStream fans the job grid across a worker pool (GOMAXPROCS workers by
+// default, WithWorkers to override) and streams one result per job on the
+// returned channel as jobs complete, closing it when the grid is done —
+// the feed for live dashboards and JSON-lines progress. Emission order is
+// completion order; every result carries its input Index, and each job's
+// content is identical to what a serial run would produce. Per-job failures
+// are recorded in SweepResult.Err and do not stop the sweep; cancelling the
+// context stops the grid mid-flight and emits unstarted jobs with the
+// context error. The channel is buffered to the grid size, so the stream
+// finishes (and its goroutines exit) even if the consumer walks away.
+func SweepStream(ctx context.Context, jobs []SweepJob, opts ...Option) <-chan SweepResult {
 	cfg := newConfig(opts)
-	results := make([]SweepResult, len(jobs))
-	for i, j := range jobs {
-		results[i] = SweepResult{Index: i, Label: j.Label}
-	}
+	out := make(chan SweepResult, len(jobs))
 	workers := cfg.workers
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -60,26 +61,43 @@ func Sweep(ctx context.Context, jobs []SweepJob, opts ...Option) ([]SweepResult,
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				runSweepJob(ctx, jobs[i], &results[i], cfg)
+				res := SweepResult{Index: i, Label: jobs[i].Label}
+				runSweepJob(ctx, jobs[i], &res, cfg)
+				out <- res
 			}
 		}()
 	}
-feed:
-	for i := range jobs {
-		select {
-		case idx <- i:
-		case <-ctx.Done():
-			results[i].Err = ctx.Err()
-			// Mark every job the feeder never handed out; workers finish
-			// whatever they already started.
-			for j := i + 1; j < len(jobs); j++ {
-				results[j].Err = ctx.Err()
+	go func() {
+		defer close(out)
+	feed:
+		for i := range jobs {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				// Emit every job the feeder never handed out; workers finish
+				// whatever they already started.
+				for j := i; j < len(jobs); j++ {
+					out <- SweepResult{Index: j, Label: jobs[j].Label, Err: ctx.Err()}
+				}
+				break feed
 			}
-			break feed
 		}
+		close(idx)
+		wg.Wait()
+	}()
+	return out
+}
+
+// Sweep is the barrier counterpart of SweepStream: it drains the stream and
+// returns one result per job, in job order — the output is deterministic
+// and byte-identical to a serial run regardless of worker count or
+// scheduling. Cancelling the context stops the grid mid-flight, marks
+// unstarted jobs with the context error, and returns that error.
+func Sweep(ctx context.Context, jobs []SweepJob, opts ...Option) ([]SweepResult, error) {
+	results := make([]SweepResult, len(jobs))
+	for res := range SweepStream(ctx, jobs, opts...) {
+		results[res.Index] = res
 	}
-	close(idx)
-	wg.Wait()
 	return results, ctx.Err()
 }
 
@@ -100,7 +118,9 @@ func runSweepJob(ctx context.Context, job SweepJob, res *SweepResult, cfg config
 		res.Err = err
 		return
 	}
-	rep, err := Analyze(ctx, net, p, WithRoundBudget(cfg.budget), WithTrace(cfg.observer))
+	// Jobs already run concurrently; keep each session serial so a sweep
+	// does not oversubscribe the host with nested stepping pools.
+	rep, err := Analyze(ctx, net, p, WithRoundBudget(cfg.budget), WithTrace(cfg.observer), WithWorkers(1))
 	if err != nil {
 		res.Err = err
 		return
