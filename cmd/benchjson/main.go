@@ -1,0 +1,222 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document and gates benchmark regressions against a committed baseline —
+// the two halves of the CI bench job.
+//
+// Convert (reads the bench output on stdin):
+//
+//	go test -bench=. -benchmem -count=6 ./... | benchjson -out BENCH_PR3.json
+//
+// Repeated runs of one benchmark (-count) aggregate into a single entry
+// holding the minimum ns/op (the noise-robust statistic), the mean, and the
+// B/op / allocs/op of the fastest run.
+//
+// Check (compares a candidate conversion against the baseline):
+//
+//	benchjson -check -baseline BENCH_PR3.json -candidate new.json \
+//	    -require BenchmarkStep,BenchmarkFrontierStep -threshold 20
+//
+// The check fails (exit 1) when a required benchmark is missing from either
+// file, its candidate ns/op exceeds the baseline by more than -threshold
+// percent, or its allocs/op grew at all (the hot paths are pinned at zero).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Suite is the JSON document: benchmark name → aggregated result.
+type Suite struct {
+	Schema     int               `json:"schema"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// Result aggregates the repetitions of one benchmark.
+type Result struct {
+	Pkg      string  `json:"pkg,omitempty"`
+	NsOp     float64 `json:"ns_op"`      // minimum across repetitions
+	NsOpMean float64 `json:"ns_op_mean"` // mean across repetitions
+	BOp      int64   `json:"b_op"`       // of the fastest repetition
+	AllocsOp int64   `json:"allocs_op"`  // of the fastest repetition
+	Samples  int     `json:"samples"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseBench reads `go test -bench` output and aggregates it into a Suite.
+func parseBench(r io.Reader) (*Suite, error) {
+	suite := &Suite{Schema: 1, Benchmarks: make(map[string]Result)}
+	sums := make(map[string]float64)
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %v", line, err)
+		}
+		var bop, allocs int64
+		if m[3] != "" {
+			bop, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			allocs, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		res, seen := suite.Benchmarks[name]
+		if !seen || ns < res.NsOp {
+			res.NsOp = ns
+			res.BOp = bop
+			res.AllocsOp = allocs
+			res.Pkg = pkg
+		}
+		res.Samples++
+		sums[name] += ns
+		suite.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: reading bench output: %v", err)
+	}
+	for name, res := range suite.Benchmarks {
+		res.NsOpMean = sums[name] / float64(res.Samples)
+		suite.Benchmarks[name] = res
+	}
+	if len(suite.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines found in input")
+	}
+	return suite, nil
+}
+
+// checkRegressions compares candidate against baseline for the required
+// benchmarks and returns the list of violations (empty = pass).
+func checkRegressions(baseline, candidate *Suite, require []string, thresholdPct float64) []string {
+	var violations []string
+	for _, name := range require {
+		base, ok := baseline.Benchmarks[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: missing from baseline", name))
+			continue
+		}
+		cand, ok := candidate.Benchmarks[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: missing from candidate run", name))
+			continue
+		}
+		limit := base.NsOp * (1 + thresholdPct/100)
+		if cand.NsOp > limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.1f ns/op exceeds baseline %.1f ns/op by more than %.0f%% (limit %.1f)",
+				name, cand.NsOp, base.NsOp, thresholdPct, limit))
+		}
+		if cand.AllocsOp > base.AllocsOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d allocs/op grew from baseline %d", name, cand.AllocsOp, base.AllocsOp))
+		}
+	}
+	return violations
+}
+
+func loadSuite(path string) (*Suite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %v", err)
+	}
+	var s Suite
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchjson: parsing %s: %v", path, err)
+	}
+	if s.Benchmarks == nil {
+		return nil, fmt.Errorf("benchjson: %s holds no benchmarks", path)
+	}
+	return &s, nil
+}
+
+func writeSuite(path string, s *Suite) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func main() {
+	check := flag.Bool("check", false, "compare -candidate against -baseline instead of converting")
+	out := flag.String("out", "-", "output path for the converted JSON (- = stdout)")
+	baselinePath := flag.String("baseline", "", "baseline suite JSON (check mode)")
+	candidatePath := flag.String("candidate", "", "candidate suite JSON (check mode)")
+	require := flag.String("require", "BenchmarkStep,BenchmarkFrontierStep",
+		"comma-separated benchmarks the check gates on")
+	threshold := flag.Float64("threshold", 20, "allowed ns/op regression percentage")
+	flag.Parse()
+
+	if *check {
+		if *baselinePath == "" || *candidatePath == "" {
+			fatalf("check mode needs -baseline and -candidate")
+		}
+		baseline, err := loadSuite(*baselinePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		candidate, err := loadSuite(*candidatePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		names := strings.Split(*require, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		violations := checkRegressions(baseline, candidate, names, *threshold)
+		for _, name := range names {
+			if b, ok := baseline.Benchmarks[name]; ok {
+				if c, ok := candidate.Benchmarks[name]; ok {
+					fmt.Printf("%s: baseline %.1f ns/op, candidate %.1f ns/op (%+.1f%%), allocs %d -> %d\n",
+						name, b.NsOp, c.NsOp, 100*(c.NsOp-b.NsOp)/b.NsOp, b.AllocsOp, c.AllocsOp)
+				}
+			}
+		}
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("benchjson: no regressions")
+		return
+	}
+
+	suite, err := parseBench(os.Stdin)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := writeSuite(*out, suite); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks written to %s\n", len(suite.Benchmarks), *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

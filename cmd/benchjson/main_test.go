@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/gossip
+cpu: Some CPU @ 2.40GHz
+BenchmarkStep-8            	   10000	     11000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStep-8            	   12000	     10000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStep-8            	   11000	     10500 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFrontierStep-8    	  500000	      2000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFrontierStep-8    	  600000	      1900 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/gossip	2.0s
+pkg: repro
+BenchmarkSessionRun-8      	     100	    500000 ns/op	   20000 B/op	     150 allocs/op
+ok  	repro	1.0s
+`
+
+func TestParseBenchAggregates(t *testing.T) {
+	suite, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(suite.Benchmarks))
+	}
+	step := suite.Benchmarks["BenchmarkStep"]
+	if step.NsOp != 10000 {
+		t.Errorf("BenchmarkStep min ns/op = %v, want 10000", step.NsOp)
+	}
+	if step.Samples != 3 {
+		t.Errorf("BenchmarkStep samples = %d, want 3", step.Samples)
+	}
+	if want := (11000.0 + 10000 + 10500) / 3; step.NsOpMean != want {
+		t.Errorf("BenchmarkStep mean = %v, want %v", step.NsOpMean, want)
+	}
+	if step.Pkg != "repro/internal/gossip" {
+		t.Errorf("BenchmarkStep pkg = %q", step.Pkg)
+	}
+	if step.AllocsOp != 0 || step.BOp != 0 {
+		t.Errorf("BenchmarkStep allocs/B = %d/%d, want 0/0", step.AllocsOp, step.BOp)
+	}
+	sess := suite.Benchmarks["BenchmarkSessionRun"]
+	if sess.NsOp != 500000 || sess.AllocsOp != 150 || sess.BOp != 20000 || sess.Pkg != "repro" {
+		t.Errorf("BenchmarkSessionRun parsed wrong: %+v", sess)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok repro 1.0s\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func TestCheckRegressions(t *testing.T) {
+	baseline := &Suite{Benchmarks: map[string]Result{
+		"BenchmarkStep":         {NsOp: 10000, AllocsOp: 0},
+		"BenchmarkFrontierStep": {NsOp: 2000, AllocsOp: 0},
+	}}
+	require := []string{"BenchmarkStep", "BenchmarkFrontierStep"}
+
+	// Within threshold: 15% slower passes at 20%.
+	ok := &Suite{Benchmarks: map[string]Result{
+		"BenchmarkStep":         {NsOp: 11500, AllocsOp: 0},
+		"BenchmarkFrontierStep": {NsOp: 2100, AllocsOp: 0},
+	}}
+	if v := checkRegressions(baseline, ok, require, 20); len(v) != 0 {
+		t.Errorf("in-threshold run flagged: %v", v)
+	}
+
+	// Beyond threshold fails.
+	slow := &Suite{Benchmarks: map[string]Result{
+		"BenchmarkStep":         {NsOp: 12100, AllocsOp: 0},
+		"BenchmarkFrontierStep": {NsOp: 2000, AllocsOp: 0},
+	}}
+	v := checkRegressions(baseline, slow, require, 20)
+	if len(v) != 1 || !strings.Contains(v[0], "BenchmarkStep") {
+		t.Errorf("21%% regression not flagged correctly: %v", v)
+	}
+
+	// New allocations on a zero-alloc hot path fail regardless of speed.
+	alloc := &Suite{Benchmarks: map[string]Result{
+		"BenchmarkStep":         {NsOp: 9000, AllocsOp: 1},
+		"BenchmarkFrontierStep": {NsOp: 2000, AllocsOp: 0},
+	}}
+	v = checkRegressions(baseline, alloc, require, 20)
+	if len(v) != 1 || !strings.Contains(v[0], "allocs") {
+		t.Errorf("alloc regression not flagged: %v", v)
+	}
+
+	// A required benchmark missing from the candidate fails.
+	missing := &Suite{Benchmarks: map[string]Result{
+		"BenchmarkStep": {NsOp: 10000},
+	}}
+	v = checkRegressions(baseline, missing, require, 20)
+	if len(v) != 1 || !strings.Contains(v[0], "missing from candidate") {
+		t.Errorf("missing benchmark not flagged: %v", v)
+	}
+
+	// A benchmark absent from the baseline fails too (the gate must never
+	// silently skip).
+	v = checkRegressions(&Suite{Benchmarks: map[string]Result{}}, ok, require, 20)
+	if len(v) != 2 {
+		t.Errorf("missing baseline entries not flagged: %v", v)
+	}
+}

@@ -1,0 +1,51 @@
+// Smoke tests: the CLI builds, parses its flags, and checks the local
+// delay-matrix lemmas end to end in both modes.
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "delaytool")
+	out, err := exec.Command("go", "build", "-o", path, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building delaytool: %v\n%s", err, out)
+	}
+	return path
+}
+
+func TestSmokeLocalMatrices(t *testing.T) {
+	tool := buildTool(t)
+	out, err := exec.Command(tool, "-l", "2,1", "-r", "1,2", "-lambda", "0.618", "-h", "4").CombinedOutput()
+	if err != nil {
+		t.Fatalf("delaytool failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Lemma 4.2 check: OK", "Lemma 4.3", "Lemma 2.2"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeFullDuplex(t *testing.T) {
+	tool := buildTool(t)
+	out, err := exec.Command(tool, "-fullduplex", "-s", "4", "-t", "8", "-lambda", "0.5").CombinedOutput()
+	if err != nil {
+		t.Fatalf("delaytool -fullduplex failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Lemma 6.1") {
+		t.Errorf("full-duplex output missing the Lemma 6.1 check:\n%s", out)
+	}
+}
+
+func TestSmokeBadFlags(t *testing.T) {
+	tool := buildTool(t)
+	if out, err := exec.Command(tool, "-l", "nope").CombinedOutput(); err == nil {
+		t.Fatalf("malformed block list accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,16 @@
+// Smoke test: the loadtest mode drives an in-process server end to end —
+// the same path the CI bench-smoke step exercises via `go run`.
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/systolic/serve"
+)
+
+func TestLoadtestInProcess(t *testing.T) {
+	if err := runLoadtest(serve.Config{}, "", 200*time.Millisecond, 4); err != nil {
+		t.Fatalf("loadtest against the in-process server failed: %v", err)
+	}
+}

@@ -1,0 +1,52 @@
+// Smoke tests: the CLI builds, parses its flags, and regenerates each
+// figure header end to end.
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "gossiplb")
+	out, err := exec.Command("go", "build", "-o", path, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building gossiplb: %v\n%s", err, out)
+	}
+	return path
+}
+
+func TestSmokeFigures(t *testing.T) {
+	tool := buildTool(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-figure", "4"}, "Fig. 4"},
+		{[]string{"-figure", "5", "-degrees", "2", "-periods", "3,4"}, "Fig. 5"},
+		{[]string{"-figure", "6", "-degrees", "2"}, "Fig. 6"},
+		{[]string{"-figure", "8", "-degrees", "2", "-periods", "3,0"}, "Fig. 8"},
+	}
+	for _, tc := range cases {
+		out, err := exec.Command(tool, tc.args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("gossiplb %v failed: %v\n%s", tc.args, err, out)
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("gossiplb %v output missing %q:\n%s", tc.args, tc.want, out)
+		}
+	}
+}
+
+func TestSmokeBadFlags(t *testing.T) {
+	tool := buildTool(t)
+	if out, err := exec.Command(tool, "-figure", "9").CombinedOutput(); err == nil {
+		t.Fatalf("unknown figure accepted:\n%s", out)
+	}
+	if out, err := exec.Command(tool, "-figure", "4", "-periods", "x").CombinedOutput(); err == nil {
+		t.Fatalf("malformed period list accepted:\n%s", out)
+	}
+}

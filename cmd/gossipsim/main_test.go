@@ -1,0 +1,71 @@
+// Smoke tests: the CLI builds, parses its flags, and drives one tiny
+// simulation end to end (including the checkpoint/resume round trip).
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "gossipsim")
+	out, err := exec.Command("go", "build", "-o", path, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building gossipsim: %v\n%s", err, out)
+	}
+	return path
+}
+
+func TestSmokeAnalyze(t *testing.T) {
+	tool := buildTool(t)
+	out, err := exec.Command(tool,
+		"-topology", "debruijn", "-degree", "2", "-diameter", "4",
+		"-protocol", "periodic-half").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gossipsim failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"network:", "measured:", "Theorem 4.1 respected: true"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeCheckpointResume(t *testing.T) {
+	tool := buildTool(t)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt.json")
+	out, err := exec.Command(tool,
+		"-topology", "debruijn", "-degree", "2", "-diameter", "4",
+		"-protocol", "periodic-half", "-budget", "5", "-checkpoint", ckpt).CombinedOutput()
+	if err != nil {
+		t.Fatalf("budget-capped run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "incomplete:") {
+		t.Fatalf("capped run did not report incomplete:\n%s", out)
+	}
+	out, err = exec.Command(tool,
+		"-topology", "debruijn", "-degree", "2", "-diameter", "4",
+		"-protocol", "periodic-half", "-budget", "100000", "-resume", ckpt).CombinedOutput()
+	if err != nil {
+		t.Fatalf("resumed run failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"resumed:", "measured:"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("resumed output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeBadFlags(t *testing.T) {
+	tool := buildTool(t)
+	out, err := exec.Command(tool, "-topology", "mobius").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown topology accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown topology") {
+		t.Errorf("error message unhelpful:\n%s", out)
+	}
+}

@@ -1,0 +1,35 @@
+// Smoke test: the full reproduction driver builds and passes every check
+// end to end — golden values, all four figures, separator verification and
+// the upper-vs-lower sweep.
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSmokeFullReproduction(t *testing.T) {
+	tool := filepath.Join(t.TempDir(), "reproduce")
+	out, err := exec.Command("go", "build", "-o", tool, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building reproduce: %v\n%s", err, out)
+	}
+	out, err = exec.Command(tool).CombinedOutput()
+	if err != nil {
+		t.Fatalf("reproduce failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"Fig. 4", "Fig. 5", "Fig. 6", "Fig. 8",
+		"separator verified",
+		"REPRODUCTION: all checks passed",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(string(out), "MISMATCH") {
+		t.Errorf("reproduction reported mismatches:\n%s", out)
+	}
+}

@@ -9,8 +9,11 @@
 // pool on large networks), option-based context-aware one-shot wrappers
 // (Analyze/Simulate/AnalyzeBroadcast) with JSON-serializable Report/Bound
 // results, and a parallel sweep engine (SweepStream streams results as jobs
-// finish; Sweep returns them in deterministic job order). See README.md for
-// a quickstart.
+// finish; Sweep returns them in deterministic job order). On top of it sits
+// the serving layer repro/systolic/serve — an HTTP JSON service (cmd/gossipd)
+// with canonical request keys (RequestKey), a sharded result cache,
+// singleflight deduplication, a bounded worker pool, async jobs and
+// Prometheus-style metrics. See README.md for a quickstart.
 //
 // The substrates live under internal/: the delay-digraph machinery
 // (internal/delay), the numeric lower-bound solvers (internal/bounds), the

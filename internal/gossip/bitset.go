@@ -10,6 +10,12 @@ func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
 func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
 func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
 
+// clearAll zeroes every word in place, returning the set to empty without
+// reallocating its backing array.
+func (b bitset) clearAll() {
+	clear(b)
+}
+
 func (b bitset) count() int {
 	c := 0
 	for _, w := range b {

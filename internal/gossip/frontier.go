@@ -29,6 +29,17 @@ func NewFrontierState(n, source int) *FrontierState {
 	return f
 }
 
+// Reset returns the state to "only source is informed" without reallocating:
+// both bitsets are cleared in place. Loops that measure broadcasts from many
+// sources (eccentricity scans, all-sources analyses) reuse one FrontierState
+// through Reset instead of paying two bitset allocations per source.
+func (f *FrontierState) Reset(source int) {
+	f.informed.clearAll()
+	f.prev.clearAll()
+	f.informed.set(source)
+	f.know = 1
+}
+
 // Step applies one communication round — an arc (x, y) informs y iff x was
 // informed at the beginning of the round — and returns the number of newly
 // informed vertices (the frontier growth).

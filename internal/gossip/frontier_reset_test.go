@@ -1,0 +1,82 @@
+package gossip_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gossip"
+	"repro/internal/protocols"
+	"repro/internal/topology"
+)
+
+// TestFrontierReset: a Reset state is indistinguishable from a freshly
+// allocated one — same payload, same counters, and the subsequent run is
+// identical round by round. This is the reuse path all-sources broadcast
+// scans depend on to avoid two bitset allocations per source.
+func TestFrontierReset(t *testing.T) {
+	db := topology.NewDeBruijn(2, 6)
+	n := db.G.N()
+	reused := gossip.NewFrontierState(n, 0)
+
+	// Dirty the reused state with a partial run from source 0 first.
+	p0 := protocols.BroadcastSchedule(db.G, 0)
+	for r := 0; r < 5; r++ {
+		reused.Step(p0.Round(r))
+	}
+
+	for _, source := range []int{0, 1, n / 2, n - 1} {
+		reused.Reset(source)
+		fresh := gossip.NewFrontierState(n, source)
+		if !bytes.Equal(reused.Export(), fresh.Export()) {
+			t.Fatalf("source %d: Reset payload differs from a fresh state", source)
+		}
+		if reused.InformedCount() != 1 {
+			t.Fatalf("source %d: Reset informed count %d, want 1", source, reused.InformedCount())
+		}
+		p := protocols.BroadcastSchedule(db.G, source)
+		for r := 0; !fresh.Complete(); r++ {
+			if r >= p.Len() {
+				t.Fatalf("source %d: schedule exhausted before completion", source)
+			}
+			g1 := fresh.Step(p.Round(r))
+			g2 := reused.Step(p.Round(r))
+			if g1 != g2 {
+				t.Fatalf("source %d round %d: fresh gained %d, reused gained %d", source, r+1, g1, g2)
+			}
+			if !bytes.Equal(reused.Export(), fresh.Export()) {
+				t.Fatalf("source %d round %d: states diverged after Reset", source, r+1)
+			}
+		}
+		if !reused.Complete() {
+			t.Fatalf("source %d: reused state did not complete with the fresh one", source)
+		}
+	}
+}
+
+// TestFrontierResetZeroAlloc pins the point of Reset: resetting for the
+// next source allocates nothing.
+func TestFrontierResetZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	st := gossip.NewFrontierState(1024, 0)
+	src := 0
+	if got := testing.AllocsPerRun(50, func() {
+		st.Reset(src % 1024)
+		src++
+	}); got != 0 {
+		t.Errorf("Reset allocates %v objects per call, want 0", got)
+	}
+}
+
+// BenchmarkFrontierReset measures the in-place reuse path against the
+// allocation it replaces.
+func BenchmarkFrontierReset(b *testing.B) {
+	const n = 1 << 16
+	st := gossip.NewFrontierState(n, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset(i % n)
+	}
+}

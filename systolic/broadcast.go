@@ -6,6 +6,8 @@ import (
 	"math"
 
 	"repro/internal/bounds"
+	"repro/internal/gossip"
+	"repro/internal/protocols"
 )
 
 // BroadcastReport compares a measured broadcast time against the
@@ -77,4 +79,76 @@ func (s *Session) AnalyzeBroadcast(ctx context.Context) (*BroadcastReport, error
 func (r *BroadcastReport) String() string {
 	return fmt.Sprintf("%s: broadcast from %d in %d rounds ≥ certified bound %d (c(d)=%.4f asymptotic)",
 		r.Network, r.Source, r.Measured, r.CBound, r.C)
+}
+
+// BroadcastAllReport is the outcome of measuring the BFS-tree broadcast
+// time from every source of a network: the per-source round counts plus the
+// extremes. max_rounds over all sources is the broadcast time b(G) of the
+// paper's Section 6. It is JSON-serializable.
+type BroadcastAllReport struct {
+	Network string `json:"network"`
+	// Rounds[v] is the measured broadcast time from source v.
+	Rounds []int `json:"rounds_by_source"`
+	// Worst and WorstSource locate b(G) = max over sources; Best and
+	// BestSource the cheapest source.
+	Worst       int `json:"worst_rounds"`
+	WorstSource int `json:"worst_source"`
+	Best        int `json:"best_rounds"`
+	BestSource  int `json:"best_source"`
+}
+
+// AnalyzeBroadcastAll measures the BFS-tree broadcast time from every
+// source of the network. The whole scan reuses one packed frontier — each
+// source resets it in place (FrontierState.Reset) instead of reallocating
+// two bitsets per source — so the per-source cost is the simulation alone.
+// The context is checked between sources; a source that exceeds the
+// WithRoundBudget cap aborts the scan with ErrIncomplete.
+func AnalyzeBroadcastAll(ctx context.Context, net *Network, opts ...Option) (*BroadcastAllReport, error) {
+	cfg := newConfig(opts)
+	n := net.G.N()
+	rep := &BroadcastAllReport{Network: net.Name, Rounds: make([]int, n)}
+	fr := gossip.NewFrontierState(n, 0)
+	for source := 0; source < n; source++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("systolic: broadcast-all on %s: %w", net.Name, err)
+		}
+		fr.Reset(source)
+		p := protocols.BroadcastSchedule(net.G, source)
+		rounds := 0
+		for !fr.Complete() {
+			if rounds >= cfg.budget {
+				return nil, fmt.Errorf("systolic: broadcast-all on %s from %d: %w (budget %d)",
+					net.Name, source, ErrIncomplete, cfg.budget)
+			}
+			if rounds >= p.Len() {
+				// The BFS schedule ran out with the frontier stalled: some
+				// vertex is unreachable from this source. Raising the budget
+				// cannot help, so this is deliberately not ErrIncomplete.
+				return nil, fmt.Errorf("systolic: broadcast-all on %s: source %d cannot reach every vertex (schedule exhausted after %d rounds)",
+					net.Name, source, rounds)
+			}
+			fr.Step(p.Round(rounds))
+			rounds++
+			if cfg.observer != nil {
+				cfg.observer.Round(rounds, fr.InformedCount(), n)
+			}
+		}
+		rep.Rounds[source] = rounds
+	}
+	rep.Best, rep.Worst = rep.Rounds[0], rep.Rounds[0]
+	for v, r := range rep.Rounds {
+		if r > rep.Worst {
+			rep.Worst, rep.WorstSource = r, v
+		}
+		if r < rep.Best {
+			rep.Best, rep.BestSource = r, v
+		}
+	}
+	return rep, nil
+}
+
+// String renders the report.
+func (r *BroadcastAllReport) String() string {
+	return fmt.Sprintf("%s: b(G) = %d rounds (worst source %d, best %d from %d over %d sources)",
+		r.Network, r.Worst, r.WorstSource, r.Best, r.BestSource, len(r.Rounds))
 }

@@ -1,0 +1,51 @@
+package systolic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Request operations for RequestKey. A serving layer that caches analysis
+// results keys them by operation so an analyze and a broadcast over the same
+// topology never collide.
+const (
+	OpAnalyze   = "analyze"
+	OpBroadcast = "broadcast"
+	OpSweep     = "sweep"
+)
+
+// NoSource is the source placeholder RequestKey uses for operations that
+// have no broadcast source (gossip analyses, sweeps).
+const NoSource = -1
+
+// RequestKey canonicalizes one analysis request into a cache identity:
+// operation, topology kind (case-folded), the named parameters in sorted
+// order, the protocol name (case-folded), the round budget, and the
+// broadcast source (NoSource when the operation has none). Every input that
+// can change the produced report is part of the key, and nothing else is —
+// two requests with equal keys are guaranteed to produce identical reports,
+// so serving layers may cache results under it and coalesce concurrent
+// duplicates onto one underlying simulation.
+func RequestKey(op, kind string, params Params, protocol string, budget, source int) string {
+	return fmt.Sprintf("%s|%s|%s|%s|%d|%d",
+		op,
+		strings.ToLower(strings.TrimSpace(kind)),
+		params.Canonical(),
+		strings.ToLower(strings.TrimSpace(protocol)),
+		budget,
+		source,
+	)
+}
+
+// SweepKey canonicalizes a whole sweep grid by chaining per-job RequestKeys
+// in job order. Job order is part of the identity: sweeps stream results,
+// and a reordered grid streams a different sequence.
+func SweepKey(jobKeys []string) string {
+	var sb strings.Builder
+	sb.WriteString(OpSweep)
+	for _, k := range jobKeys {
+		sb.WriteByte(';')
+		sb.WriteString(k)
+	}
+	return sb.String()
+}

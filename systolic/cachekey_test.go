@@ -1,0 +1,104 @@
+package systolic
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRequestKeyCanonical: parameter order, kind case and surrounding
+// whitespace do not change the key; every semantic input does.
+func TestRequestKeyCanonical(t *testing.T) {
+	a := RequestKey(OpAnalyze, "debruijn", MakeParams(Degree(2), Diameter(5)), "periodic-half", 1000, NoSource)
+	b := RequestKey(OpAnalyze, " DeBruijn ", MakeParams(Diameter(5), Degree(2)), "Periodic-Half", 1000, NoSource)
+	if a != b {
+		t.Fatalf("equivalent requests keyed differently:\n%s\n%s", a, b)
+	}
+	distinct := []string{
+		a,
+		RequestKey(OpBroadcast, "debruijn", MakeParams(Degree(2), Diameter(5)), "periodic-half", 1000, 0),
+		RequestKey(OpAnalyze, "kautz", MakeParams(Degree(2), Diameter(5)), "periodic-half", 1000, NoSource),
+		RequestKey(OpAnalyze, "debruijn", MakeParams(Degree(3), Diameter(5)), "periodic-half", 1000, NoSource),
+		RequestKey(OpAnalyze, "debruijn", MakeParams(Degree(2), Diameter(5)), "periodic-full", 1000, NoSource),
+		RequestKey(OpAnalyze, "debruijn", MakeParams(Degree(2), Diameter(5)), "periodic-half", 2000, NoSource),
+		RequestKey(OpBroadcast, "debruijn", MakeParams(Degree(2), Diameter(5)), "periodic-half", 1000, 7),
+	}
+	seen := map[string]int{}
+	for i, k := range distinct {
+		if j, dup := seen[k]; dup {
+			t.Errorf("requests %d and %d collide on key %s", j, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+// TestSweepKeyOrderSensitive: a sweep's identity depends on job order
+// (results stream in grid order).
+func TestSweepKeyOrderSensitive(t *testing.T) {
+	k1 := RequestKey(OpAnalyze, "debruijn", MakeParams(Degree(2), Diameter(4)), "periodic-half", 1000, NoSource)
+	k2 := RequestKey(OpAnalyze, "kautz", MakeParams(Degree(2), Diameter(3)), "periodic-full", 1000, NoSource)
+	if SweepKey([]string{k1, k2}) == SweepKey([]string{k2, k1}) {
+		t.Fatal("reordered sweep grids share a key")
+	}
+	if !strings.HasPrefix(SweepKey(nil), OpSweep) {
+		t.Fatal("sweep key does not carry the sweep operation tag")
+	}
+}
+
+// TestParamsCanonical pins the stable textual form RequestKey embeds.
+func TestParamsCanonical(t *testing.T) {
+	got := MakeParams(Diameter(5), Degree(2)).Canonical()
+	if got != "degree=2,diameter=5" {
+		t.Fatalf("Canonical() = %q, want %q", got, "degree=2,diameter=5")
+	}
+	if got := MakeParams().Canonical(); got != "" {
+		t.Fatalf("empty Canonical() = %q, want empty", got)
+	}
+	names := MakeParams(Rows(3), Cols(4), Nodes(8)).Names()
+	want := []string{"cols", "nodes", "rows"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestAnalyzeBroadcastAll: the scan agrees with the per-source
+// AnalyzeBroadcast on every source, and the extremes are consistent.
+func TestAnalyzeBroadcastAll(t *testing.T) {
+	net, err := New("debruijn", Degree(2), Diameter(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	all, err := AnalyzeBroadcastAll(ctx, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := net.G.N()
+	if len(all.Rounds) != n {
+		t.Fatalf("got %d per-source results, want %d", len(all.Rounds), n)
+	}
+	for _, source := range []int{0, 1, n / 3, n - 1} {
+		want, err := AnalyzeBroadcast(ctx, net, source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if all.Rounds[source] != want.Measured {
+			t.Errorf("source %d: broadcast-all measured %d, AnalyzeBroadcast %d",
+				source, all.Rounds[source], want.Measured)
+		}
+	}
+	if all.Rounds[all.WorstSource] != all.Worst || all.Rounds[all.BestSource] != all.Best {
+		t.Errorf("extremes inconsistent: %+v", all)
+	}
+	if all.Best > all.Worst {
+		t.Errorf("best %d > worst %d", all.Best, all.Worst)
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := AnalyzeBroadcastAll(cancelled, net); err == nil {
+		t.Error("cancelled broadcast-all did not fail")
+	}
+}

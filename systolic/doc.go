@@ -52,4 +52,13 @@
 // the Section 6 full-duplex bounds, with the Lemma 3.1 separator parameters
 // filled in automatically for the families the paper studies) and
 // GeneralBound (the bare e(s) coefficients of Fig. 4).
+//
+// Serving layers cache analysis results under canonical request identities:
+// RequestKey folds an operation, kind, the sorted named parameters, the
+// protocol and the budget/source into a stable key (SweepKey chains per-job
+// keys for grids), with the guarantee that equal keys produce identical
+// reports. The repro/systolic/serve package (cmd/gossipd) builds its result
+// cache and request deduplication on exactly this. AnalyzeBroadcastAll
+// measures the broadcast time from every source in one scan, reusing a
+// single packed frontier.
 package systolic

@@ -1,6 +1,10 @@
 package systolic
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Named topology parameters. Each registered Topology declares, via
 // ParamNames, which of these it requires; New rejects instantiations with a
@@ -78,6 +82,30 @@ func MakeParams(ps ...Param) Params {
 func (p Params) Get(name string) (int, bool) {
 	v, ok := p.values[name]
 	return v, ok
+}
+
+// Names lists the set parameter names in sorted order.
+func (p Params) Names() []string {
+	names := make([]string, 0, len(p.values))
+	for name := range p.values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Canonical renders the bag as comma-joined "name=value" pairs in sorted
+// name order — a stable textual identity independent of the order the
+// parameters were supplied in. It is the form RequestKey embeds.
+func (p Params) Canonical() string {
+	var sb strings.Builder
+	for i, name := range p.Names() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%d", name, p.values[name])
+	}
+	return sb.String()
 }
 
 // need fetches a required parameter, failing with ErrBadParam when unset.

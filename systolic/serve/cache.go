@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a sharded LRU over canonical request keys. Sharding keeps
+// lock contention off the hot path when many goroutines hit the cache at
+// once; each shard has its own mutex, map and recency list.
+type resultCache struct {
+	shards   []cacheShard
+	perShard int
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	byKey map[string]*list.Element
+	lru   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+const cacheShards = 16
+
+// newResultCache builds a cache holding about capacity entries across
+// cacheShards shards (each shard holds its own LRU quota, so the total is
+// approximate under skewed key distributions).
+func newResultCache(capacity int) *resultCache {
+	perShard := (capacity + cacheShards - 1) / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &resultCache{shards: make([]cacheShard, cacheShards), perShard: perShard}
+	for i := range c.shards {
+		c.shards[i].byKey = make(map[string]*list.Element)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// shard picks the shard by an inline FNV-1a over the key: the cache sits on
+// every request's hot path, so the hash must not allocate (hash/fnv would
+// heap-allocate the hasher and a byte copy of the key).
+func (c *resultCache) shard(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// get returns the cached value for key and marks it most recently used.
+func (c *resultCache) get(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// add inserts (or refreshes) a value, evicting the shard's least recently
+// used entry beyond its quota.
+func (c *resultCache) add(key string, val any) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.byKey[key] = s.lru.PushFront(&cacheEntry{key: key, val: val})
+	for s.lru.Len() > c.perShard {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the total number of cached entries.
+func (c *resultCache) len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(cacheShards) // one entry per shard
+	c.add("a", 1)
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Fatal("missing fresh entry")
+	}
+	c.add("a", 2) // refresh in place
+	if v, _ := c.get("a"); v.(int) != 2 {
+		t.Fatal("refresh did not replace the value")
+	}
+	// Force an eviction inside a's shard: insert keys until one lands in
+	// the same shard as "a".
+	shardOfA := c.shard("a")
+	evictor := ""
+	for i := 0; evictor == ""; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == shardOfA {
+			evictor = k
+		}
+	}
+	c.add(evictor, 3)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("LRU did not evict the older entry past the shard quota")
+	}
+	if v, ok := c.get(evictor); !ok || v.(int) != 3 {
+		t.Fatal("newest entry missing after eviction")
+	}
+}
+
+func TestResultCacheRecency(t *testing.T) {
+	c := newResultCache(2 * cacheShards) // two entries per shard
+	shard0 := c.shard("x")
+	same := []string{"x"}
+	for i := 0; len(same) < 3; i++ {
+		k := fmt.Sprintf("y%d", i)
+		if c.shard(k) == shard0 {
+			same = append(same, k)
+		}
+	}
+	c.add(same[0], 0)
+	c.add(same[1], 1)
+	c.get(same[0]) // touch: same[1] becomes LRU
+	c.add(same[2], 2)
+	if _, ok := c.get(same[0]); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c.get(same[1]); ok {
+		t.Fatal("least recently used entry survived")
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+}

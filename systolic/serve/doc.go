@@ -1,0 +1,96 @@
+// Package serve is the HTTP serving layer of the reproduction: a
+// long-running JSON service (gossipd) that multiplexes many concurrent
+// analyze/broadcast/sweep requests over the systolic engine.
+//
+// # Architecture
+//
+// Every request is normalized into a canonical cache key
+// (systolic.RequestKey: operation, kind, sorted params, protocol, budget,
+// source). Results are served through a sharded LRU cache; concurrent
+// identical requests coalesce onto one underlying simulation (a
+// reference-counted singleflight whose computation is cancelled only when
+// every subscribed client has disconnected). The simulations themselves run
+// on a worker pool of Config.Workers slots with a bounded wait queue —
+// beyond Config.QueueDepth waiters the server answers 429.
+//
+// # Wire schema
+//
+// POST /v1/analyze — analyze one protocol on one topology:
+//
+//	{"kind": "debruijn", "params": {"degree": 2, "diameter": 5},
+//	 "protocol": "periodic-half", "budget": 100000}
+//
+// responds with an envelope around the systolic.Report JSON schema (pinned
+// by the systolic golden tests):
+//
+//	{"key": "analyze|debruijn|degree=2,diameter=5|periodic-half|100000|-1",
+//	 "cached": false, "report": {"network": "DB(2,5)", ...}}
+//
+// With ?async=true the response is 202 {"id", "status_url"} and the job is
+// polled via GET /v1/jobs/{id}. An async analyze that exhausts its round
+// budget persists a session checkpoint (the systolic.Checkpoint JSON schema,
+// written through Snapshot/WriteCheckpoint) into the spool directory and
+// finishes with status "incomplete", so the run can be resumed offline with
+// a higher budget.
+//
+// POST /v1/broadcast — measure the BFS-tree broadcast time:
+//
+//	{"kind": "hypercube", "params": {"dimension": 6}, "source": 0}
+//
+// responds with a systolic.BroadcastReport envelope. With
+// "all_sources": true the scan measures every source (reusing one packed
+// frontier through FrontierState.Reset) and the report is a
+// systolic.BroadcastAllReport.
+//
+// POST /v1/sweep — a grid of analyze jobs:
+//
+//	{"budget": 200000, "jobs": [
+//	  {"label": "db", "kind": "debruijn",
+//	   "params": {"degree": 2, "diameter": 5}, "protocol": "periodic-half"},
+//	  {"kind": "kautz", "params": {"degree": 2, "diameter": 4},
+//	   "protocol": "periodic-full"}]}
+//
+// streams one JSON line per job (Content-Type application/x-ndjson) in
+// completion order, each line carrying its grid index:
+//
+//	{"index": 1, "label": "kautz/periodic-full", "network": "K(2,4)",
+//	 "n": 24, "report": {...}}
+//	{"index": 0, "label": "db", "network": "DB(2,5)", "n": 32,
+//	 "report": {...}}
+//
+// A client that disconnects mid-stream detaches from the computation; when
+// the last client detaches, the sweep's context is cancelled and the worker
+// freed. Completed sweeps are cached whole and replayed in job order.
+// ?async=true submits the sweep as a job instead.
+//
+// GET /v1/jobs/{id} — poll an async job:
+//
+//	{"id": "j0123456789abcdef", "op": "sweep", "status": "done",
+//	 "created": "...", "started": "...", "finished": "...",
+//	 "results": [...]}
+//
+// status is queued | running | done | failed | incomplete. With a spool
+// directory configured, terminal jobs persist as <id>.json and survive both
+// memory eviction and process restarts.
+//
+// GET /v1/kinds — the topology and protocol catalogs:
+//
+//	{"topologies": [{"kind": "debruijn", "params": ["degree", "diameter"]},
+//	  ...],
+//	 "protocols": ["cycle2", "doubling", ...]}
+//
+// GET /healthz — liveness plus load: {"status": "ok" | "draining",
+// "uptime_seconds", "inflight", "queued", "cache_entries"}.
+//
+// GET /metrics — Prometheus text format: requests by endpoint, cache
+// hits/misses and hit ratio, dedup shares, simulations run, rounds
+// simulated, queue rejections, in-flight sessions, queue depth.
+//
+// # Errors
+//
+// Validation failures are 400 with {"error": "..."}; a saturated queue is
+// 429 (Retry-After: 1); a round budget exceeded synchronously is 422; a
+// draining server answers 503 to computation-starting requests while
+// read-only endpoints keep serving. Graceful shutdown is Drain (stop
+// accepting, wait for in-flight sessions) followed by Close.
+package serve

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFlightLastLeaveCancels: the computation's context is cancelled
+// exactly when the last subscriber leaves, not before.
+func TestFlightLastLeaveCancels(t *testing.T) {
+	var g group
+	sub1, f, created := g.join(context.Background(), "k", 1)
+	if !created {
+		t.Fatal("first join did not create the flight")
+	}
+	computeCtx := make(chan context.Context, 1)
+	finished := make(chan struct{})
+	go func() {
+		g.run("k", f, func(ctx context.Context, emit func(any)) error {
+			computeCtx <- ctx
+			<-ctx.Done()
+			return ctx.Err()
+		})
+		close(finished)
+	}()
+	ctx := <-computeCtx
+
+	sub2, f2, created2 := g.join(context.Background(), "k", 1)
+	if created2 || f2 != f {
+		t.Fatal("second join did not attach to the running flight")
+	}
+
+	sub1.leave()
+	select {
+	case <-ctx.Done():
+		t.Fatal("context cancelled while a subscriber remained")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	sub2.leave()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("context not cancelled after the last subscriber left")
+	}
+	<-finished
+	if !errors.Is(f.Err(), context.Canceled) {
+		t.Fatalf("flight error = %v, want context.Canceled", f.Err())
+	}
+}
+
+// TestFlightJoinAfterAbandonStartsFresh: a request arriving after the last
+// subscriber abandoned a still-running flight must not inherit its
+// cancellation — it replaces the doomed flight and computes fresh.
+func TestFlightJoinAfterAbandonStartsFresh(t *testing.T) {
+	var g group
+	sub1, f1, _ := g.join(context.Background(), "k", 1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	oldDone := make(chan struct{})
+	go func() {
+		g.run("k", f1, func(ctx context.Context, emit func(any)) error {
+			close(started)
+			<-ctx.Done()
+			<-release // keep the doomed flight registered during the next join
+			return ctx.Err()
+		})
+		close(oldDone)
+	}()
+	<-started
+	sub1.leave() // last subscriber: cancels f1 while it is still registered
+
+	sub2, f2, created := g.join(context.Background(), "k", 1)
+	if !created || f2 == f1 {
+		t.Fatal("join attached to the abandoned flight")
+	}
+	if f2.ctx.Err() != nil {
+		t.Fatal("fresh flight inherited a cancelled context")
+	}
+	go g.run("k", f2, func(ctx context.Context, emit func(any)) error {
+		emit(7)
+		return nil
+	})
+	if v := (<-sub2.ch).(int); v != 7 {
+		t.Fatalf("fresh flight produced %v, want 7", v)
+	}
+	close(release)
+	<-oldDone
+	// The doomed flight's cleanup must not have clobbered the key: a new
+	// join starts fresh (the finished f2 removed its own entry).
+	_, f3, created := g.join(context.Background(), "k", 1)
+	if !created || f3 == f1 || f3 == f2 {
+		t.Fatal("key left in a stale state after the abandoned flight finished")
+	}
+}
+
+// TestFlightReplayLateJoiner: a subscriber attaching mid-flight receives
+// everything already produced, then the live tail.
+func TestFlightReplayLateJoiner(t *testing.T) {
+	var g group
+	sub1, f, _ := g.join(context.Background(), "k", 3)
+	release := make(chan struct{})
+	go g.run("k", f, func(ctx context.Context, emit func(any)) error {
+		emit(1)
+		emit(2)
+		<-release
+		emit(3)
+		return nil
+	})
+	// Wait for the first two emissions to land.
+	got := []int{(<-sub1.ch).(int), (<-sub1.ch).(int)}
+
+	sub2, _, created := g.join(context.Background(), "k", 3)
+	if created {
+		t.Fatal("late joiner created a new flight")
+	}
+	close(release)
+	for v := range sub1.ch {
+		got = append(got, v.(int))
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("subscriber 1 saw %v, want [1 2 3]", got)
+	}
+	var replay []int
+	for v := range sub2.ch {
+		replay = append(replay, v.(int))
+	}
+	if len(replay) != 3 || replay[0] != 1 || replay[1] != 2 || replay[2] != 3 {
+		t.Fatalf("late joiner saw %v, want [1 2 3]", replay)
+	}
+	if f.Err() != nil {
+		t.Fatalf("flight error = %v, want nil", f.Err())
+	}
+}
+
+// TestFlightErrorPropagates: a failed computation delivers its error to
+// every subscriber, and the key is free for a fresh flight afterwards.
+func TestFlightErrorPropagates(t *testing.T) {
+	var g group
+	boom := errors.New("boom")
+	sub, f, _ := g.join(context.Background(), "k", 1)
+	g.run("k", f, func(ctx context.Context, emit func(any)) error { return boom })
+	if _, ok := <-sub.ch; ok {
+		t.Fatal("failed flight emitted a value")
+	}
+	if !errors.Is(f.Err(), boom) {
+		t.Fatalf("flight error = %v, want boom", f.Err())
+	}
+	_, _, created := g.join(context.Background(), "k", 1)
+	if !created {
+		t.Fatal("key not released after the flight finished")
+	}
+}
+
+// TestFlightJoinAfterFinish: a join that looked the flight up just before
+// run removed it from the map (and attaches after it finished) still gets
+// the full replay and an immediately closed channel.
+func TestFlightJoinAfterFinish(t *testing.T) {
+	var g group
+	sub1, f, _ := g.join(context.Background(), "k", 1)
+	g.run("k", f, func(ctx context.Context, emit func(any)) error {
+		emit(42)
+		return nil
+	})
+	if v := (<-sub1.ch).(int); v != 42 {
+		t.Fatalf("got %v, want 42", v)
+	}
+	// Reproduce the race window by putting the finished flight back where
+	// join's lookup would have found it.
+	g.mu.Lock()
+	g.flights["k"] = f
+	g.mu.Unlock()
+	sub2, f2, created := g.join(context.Background(), "k", 1)
+	if created || f2 != f {
+		t.Fatal("join did not attach to the finished flight object")
+	}
+	var replay []int
+	for v := range sub2.ch {
+		replay = append(replay, v.(int))
+	}
+	if len(replay) != 1 || replay[0] != 42 {
+		t.Fatalf("late joiner after finish saw %v, want [42]", replay)
+	}
+	sub2.leave() // must be a no-op on a finished flight
+}

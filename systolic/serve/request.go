@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/systolic"
+)
+
+// AnalyzeRequest is the wire form of POST /v1/analyze and
+// POST /v1/broadcast. Params carries the topology's named parameters
+// (GET /v1/kinds lists what each kind requires).
+type AnalyzeRequest struct {
+	Kind   string         `json:"kind"`
+	Params map[string]int `json:"params"`
+	// Protocol names a catalog protocol (analyze only; GET /v1/kinds lists
+	// the catalog).
+	Protocol string `json:"protocol,omitempty"`
+	// Budget caps simulated rounds; 0 means systolic.DefaultRoundBudget.
+	Budget int `json:"budget,omitempty"`
+	// Source is the broadcast source vertex (broadcast only).
+	Source int `json:"source,omitempty"`
+	// AllSources measures the broadcast time from every source instead of
+	// one (broadcast only); the response is a BroadcastAllReport.
+	AllSources bool `json:"all_sources,omitempty"`
+}
+
+// SweepRequest is the wire form of POST /v1/sweep: a grid of analyze jobs
+// streamed back as JSON lines (or run asynchronously with ?async=true).
+type SweepRequest struct {
+	// Budget caps simulated rounds per job; 0 means
+	// systolic.DefaultRoundBudget.
+	Budget int               `json:"budget,omitempty"`
+	Jobs   []SweepJobRequest `json:"jobs"`
+}
+
+// SweepJobRequest is one cell of a sweep grid.
+type SweepJobRequest struct {
+	Label    string         `json:"label,omitempty"`
+	Kind     string         `json:"kind"`
+	Params   map[string]int `json:"params"`
+	Protocol string         `json:"protocol"`
+}
+
+// paramCtors maps wire parameter names onto the systolic Param vocabulary.
+var paramCtors = map[string]func(int) systolic.Param{
+	systolic.ParamNodes:     systolic.Nodes,
+	systolic.ParamDegree:    systolic.Degree,
+	systolic.ParamDiameter:  systolic.Diameter,
+	systolic.ParamDimension: systolic.Dimension,
+	systolic.ParamRows:      systolic.Rows,
+	systolic.ParamCols:      systolic.Cols,
+	systolic.ParamDepth:     systolic.Depth,
+}
+
+// badRequestError marks a client-side validation failure (HTTP 400).
+type badRequestError struct{ msg string }
+
+func (e badRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// normalized is a validated request reduced to its canonical form: the
+// instantiable inputs plus the cache key they canonicalize to.
+type normalized struct {
+	kind      string
+	paramList []systolic.Param
+	params    systolic.Params
+	protocol  string
+	budget    int
+	source    int
+	key       string
+}
+
+// normalizeParams validates the named parameters against the wire
+// vocabulary and builds the systolic representation in deterministic order.
+func normalizeParams(kind string, raw map[string]int) ([]systolic.Param, systolic.Params, error) {
+	if _, ok := systolic.Lookup(kind); !ok {
+		return nil, systolic.Params{}, badRequestf("unknown topology kind %q (GET /v1/kinds lists them)", kind)
+	}
+	names := make([]string, 0, len(raw))
+	for name := range raw {
+		if paramCtors[name] == nil {
+			return nil, systolic.Params{}, badRequestf("unknown parameter %q (GET /v1/kinds lists each kind's parameters)", name)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	list := make([]systolic.Param, 0, len(names))
+	for _, name := range names {
+		list = append(list, paramCtors[name](raw[name]))
+	}
+	return list, systolic.MakeParams(list...), nil
+}
+
+func normalizeBudget(budget int) (int, error) {
+	switch {
+	case budget < 0:
+		return 0, badRequestf("budget must be non-negative, got %d", budget)
+	case budget == 0:
+		return systolic.DefaultRoundBudget, nil
+	default:
+		return budget, nil
+	}
+}
+
+// normalizeAnalyze validates an analyze request and computes its cache key.
+func normalizeAnalyze(req AnalyzeRequest) (normalized, error) {
+	list, params, err := normalizeParams(req.Kind, req.Params)
+	if err != nil {
+		return normalized{}, err
+	}
+	if req.Protocol == "" {
+		return normalized{}, badRequestf("analyze requires a protocol (GET /v1/kinds lists the catalog)")
+	}
+	budget, err := normalizeBudget(req.Budget)
+	if err != nil {
+		return normalized{}, err
+	}
+	n := normalized{
+		kind: req.Kind, paramList: list, params: params,
+		protocol: req.Protocol, budget: budget, source: systolic.NoSource,
+	}
+	n.key = systolic.RequestKey(systolic.OpAnalyze, n.kind, n.params, n.protocol, n.budget, n.source)
+	return n, nil
+}
+
+// opBroadcastAll keys all-sources broadcast scans apart from single-source
+// broadcasts in the result cache.
+const opBroadcastAll = "broadcast-all"
+
+// normalizeBroadcast validates a broadcast request and computes its cache
+// key. The source range is checked at instantiation time (the network does
+// not exist yet here); all-sources requests ignore Source.
+func normalizeBroadcast(req AnalyzeRequest) (normalized, error) {
+	list, params, err := normalizeParams(req.Kind, req.Params)
+	if err != nil {
+		return normalized{}, err
+	}
+	if req.Protocol != "" {
+		return normalized{}, badRequestf("broadcast builds its own BFS schedule; drop the protocol field")
+	}
+	budget, err := normalizeBudget(req.Budget)
+	if err != nil {
+		return normalized{}, err
+	}
+	n := normalized{kind: req.Kind, paramList: list, params: params, budget: budget, source: req.Source}
+	op := systolic.OpBroadcast
+	if req.AllSources {
+		op = opBroadcastAll
+		n.source = systolic.NoSource
+	} else if req.Source < 0 {
+		return normalized{}, badRequestf("broadcast source must be non-negative, got %d", req.Source)
+	}
+	n.key = systolic.RequestKey(op, n.kind, n.params, "", n.budget, n.source)
+	return n, nil
+}
+
+// normalizeSweep validates every job of a sweep grid and computes the
+// grid's cache key (job order included).
+func normalizeSweep(req SweepRequest, maxJobs int) ([]systolic.SweepJob, int, string, error) {
+	if len(req.Jobs) == 0 {
+		return nil, 0, "", badRequestf("sweep requires at least one job")
+	}
+	if len(req.Jobs) > maxJobs {
+		return nil, 0, "", badRequestf("sweep has %d jobs, limit is %d", len(req.Jobs), maxJobs)
+	}
+	budget, err := normalizeBudget(req.Budget)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	jobs := make([]systolic.SweepJob, len(req.Jobs))
+	jobKeys := make([]string, len(req.Jobs))
+	for i, jr := range req.Jobs {
+		list, params, err := normalizeParams(jr.Kind, jr.Params)
+		if err != nil {
+			return nil, 0, "", fmt.Errorf("job %d: %w", i, err)
+		}
+		if jr.Protocol == "" {
+			return nil, 0, "", badRequestf("job %d: sweep jobs require a protocol", i)
+		}
+		label := jr.Label
+		if label == "" {
+			label = fmt.Sprintf("%s/%s", jr.Kind, jr.Protocol)
+		}
+		jobs[i] = systolic.SweepJob{
+			Label:    label,
+			Kind:     jr.Kind,
+			Params:   list,
+			Protocol: systolic.UseProtocol(jr.Protocol, budget),
+		}
+		// The label is echoed on every response line, so it is part of the
+		// identity: the same grid under different labels must not share a
+		// cached replay.
+		jobKeys[i] = systolic.RequestKey(systolic.OpAnalyze, jr.Kind, params, jr.Protocol, budget, systolic.NoSource) +
+			"|label=" + label
+	}
+	return jobs, budget, systolic.SweepKey(jobKeys), nil
+}
