@@ -115,6 +115,8 @@ func runLoadtest(cfg serve.Config, base string, duration time.Duration, concurre
 		snap := srv.Metrics().Snapshot()
 		fmt.Fprintf(os.Stdout, "server: cache hit ratio %.3f, %d simulations, %d dedup shares, %d rounds simulated, %d rejected\n",
 			snap.HitRatio(), snap.Simulations, snap.DedupShared, snap.Rounds, snap.Rejected)
+		fmt.Fprintf(os.Stdout, "programs: %d compiled, %d reused from the program cache\n",
+			snap.ProgramMisses, snap.ProgramHits)
 	}
 	if float64(errors) > 0.01*float64(total) {
 		return fmt.Errorf("loadtest: %d/%d requests failed", errors, total)

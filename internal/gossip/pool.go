@@ -20,11 +20,20 @@ type Pool struct {
 	workers int
 	jobs    []chan poolJob
 	wg      sync.WaitGroup
+
+	// Last compiled program driven through the pool and its memoized shard
+	// plan; a session steps one program at a time, so a single slot avoids
+	// the partition lookup on every round.
+	lastProg *Program
+	lastPart *partition
 }
 
 type poolJob struct {
 	st    *State
-	round []graph.Arc
+	round []graph.Arc // interpreted path (prog == nil)
+	prog  *Program    // compiled path
+	part  *partition
+	r     int32 // explicit compiled round index
 	phase uint8 // 0: snapshot senders, 1: merge receivers
 }
 
@@ -55,7 +64,11 @@ func (p *Pool) Close() {
 
 func (p *Pool) worker(w int, ch chan poolJob) {
 	for job := range ch {
-		job.st.shard(job.round, job.phase, w, p.workers)
+		if job.prog != nil {
+			job.st.shardCompiled(job.prog, job.part, int(job.r), job.phase, w)
+		} else {
+			job.st.shard(job.round, job.phase, w, p.workers)
+		}
 		p.wg.Done()
 	}
 }
@@ -68,6 +81,30 @@ func (p *Pool) step(st *State, round []graph.Arc) {
 		p.wg.Add(p.workers)
 		for _, ch := range p.jobs {
 			ch <- poolJob{st: st, round: round, phase: phase}
+		}
+		p.wg.Wait()
+	}
+}
+
+// stepProgram drives one compiled round through the pool. The shard plan
+// comes from the program's compile-time partition (memoized per worker
+// count); the two phases and barriers mirror step, except that the
+// snapshot phase is skipped outright on rounds the compiler proved need no
+// shadow copies (every matching and fully fused round) — one barrier per
+// round instead of two.
+func (p *Pool) stepProgram(st *State, pr *Program, r int) {
+	if p.lastProg != pr {
+		p.lastProg, p.lastPart = pr, pr.partition(p.workers)
+	}
+	part := p.lastPart
+	phase := uint8(0)
+	if pr.spanStart[r] == pr.spanStart[r+1] {
+		phase = 1
+	}
+	for ; phase < 2; phase++ {
+		p.wg.Add(p.workers)
+		for _, ch := range p.jobs {
+			ch <- poolJob{st: st, prog: pr, part: part, r: int32(r), phase: phase}
 		}
 		p.wg.Wait()
 	}

@@ -2,10 +2,25 @@
 // (Definitions 3.1 and 3.2) and provides a bitset-based simulation engine
 // that executes a protocol round by round, tracking which items each
 // processor knows, and reports gossip/broadcast completion times.
+//
+// The engine is a compile-then-execute pipeline. A Protocol is a plain
+// schedule — arc slices per round; Compile lowers it once into a Program,
+// the flat schedule IR every execution layer shares: precomputed word
+// offsets, fused full-duplex exchanges, snapshot analysis (only senders
+// that are overwritten within their round are shadow-copied) and
+// compile-time shard partitions. State.StepProgram, FrontierState.
+// StepProgram, the sharded Pool and Program.CompletionCertificate all
+// execute the same IR, byte-identically to interpreting the raw arc slices
+// with Step — which remains available for ad-hoc arc sets. Simulate,
+// SimulateBroadcast and CompletionCertificate compile on entry, so one-shot
+// callers get the compiled hot path for free.
 package gossip
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -64,10 +79,13 @@ func NewFinite(rounds [][]graph.Arc, mode Mode) *Protocol {
 func (p *Protocol) Systolic() bool { return p.Period > 0 }
 
 // Round returns the arcs active at 0-based round i, applying the periodic
-// repetition when the protocol is systolic.
+// repetition when the protocol is systolic. Out-of-schedule rounds — a
+// negative i, or an i past the end of a finite protocol — are empty (nil),
+// consistent with the engine's ErrBadParam discipline of never panicking on
+// caller-supplied values.
 func (p *Protocol) Round(i int) []graph.Arc {
 	if i < 0 {
-		panic(fmt.Sprintf("gossip: negative round %d", i))
+		return nil
 	}
 	if p.Period > 0 {
 		return p.Rounds[i%p.Period]
@@ -76,6 +94,29 @@ func (p *Protocol) Round(i int) []graph.Arc {
 		return nil
 	}
 	return p.Rounds[i]
+}
+
+// Fingerprint hashes the schedule — mode, period and the arcs of every
+// explicit round — with FNV-1a into the 16-hex-digit identity that ties
+// checkpoints to their protocol and keys compiled-program caches.
+func (p *Protocol) Fingerprint() string {
+	h := fnv.New64a()
+	var word [8]byte
+	put := func(v int) {
+		binary.LittleEndian.PutUint64(word[:], uint64(v))
+		h.Write(word[:])
+	}
+	put(int(p.Mode))
+	put(p.Period)
+	put(len(p.Rounds))
+	for _, round := range p.Rounds {
+		put(len(round))
+		for _, a := range round {
+			put(a.From)
+			put(a.To)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Len returns the number of explicit rounds (one period for a systolic
@@ -110,32 +151,54 @@ func (p *Protocol) Validate(g *graph.Digraph) error {
 
 // SystolicCheck verifies that an explicit finite round sequence is s-systolic
 // per Definition 3.2 (A_i = A_{i+s} for all applicable i). Rounds are
-// compared as sets.
+// compared as sets: each round is sorted once up front, so the pairwise
+// comparisons are allocation-free slice walks instead of a map per pair.
 func SystolicCheck(rounds [][]graph.Arc, s int) bool {
 	if s <= 0 || s > len(rounds) {
 		return false
 	}
+	sorted := make([][]graph.Arc, len(rounds))
+	for i, round := range rounds {
+		sorted[i] = sortedRound(round)
+	}
 	for i := 0; i+s < len(rounds); i++ {
-		if !sameArcSet(rounds[i], rounds[i+s]) {
+		if !sameSortedArcs(sorted[i], sorted[i+s]) {
 			return false
 		}
 	}
 	return true
 }
 
+// sameArcSet is the one-shot variant of the comparison for callers holding
+// unsorted rounds (tests, mostly): both rounds are copied, sorted and
+// compared.
 func sameArcSet(a, b []graph.Arc) bool {
+	return sameSortedArcs(sortedRound(a), sortedRound(b))
+}
+
+func sortedRound(round []graph.Arc) []graph.Arc {
+	c := append([]graph.Arc(nil), round...)
+	sort.Slice(c, func(x, y int) bool {
+		if c[x].From != c[y].From {
+			return c[x].From < c[y].From
+		}
+		return c[x].To < c[y].To
+	})
+	return c
+}
+
+// sameSortedArcs compares two sorted rounds as sets; a round containing a
+// duplicate arc is never equal to anything (a duplicate indicates a
+// malformed schedule).
+func sameSortedArcs(a, b []graph.Arc) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	set := make(map[graph.Arc]struct{}, len(a))
-	for _, x := range a {
-		set[x] = struct{}{}
-	}
-	if len(set) != len(a) {
-		return false
-	}
-	for _, x := range b {
-		if _, ok := set[x]; !ok {
+	for i := range a {
+		if i > 0 && a[i] == a[i-1] {
+			return false
+		}
+		if a[i] != b[i] {
 			return false
 		}
 	}

@@ -207,11 +207,16 @@ type Result struct {
 }
 
 // Simulate runs p on g until gossip completes, up to maxRounds. The protocol
-// is validated first. For a systolic protocol the period is repeated as
-// needed; for a finite protocol the explicit rounds are the budget (capped
-// by maxRounds).
+// is validated first, then compiled once — the simulation executes the
+// schedule IR, not the arc slices (byte-identical results either way). For a
+// systolic protocol the period is repeated as needed; for a finite protocol
+// the explicit rounds are the budget (capped by maxRounds).
 func Simulate(g *graph.Digraph, p *Protocol, maxRounds int) (Result, error) {
 	if err := p.Validate(g); err != nil {
+		return Result{}, err
+	}
+	pr, err := Compile(p, g.N(), g.N())
+	if err != nil {
 		return Result{}, err
 	}
 	budget := maxRounds
@@ -223,7 +228,7 @@ func Simulate(g *graph.Digraph, p *Protocol, maxRounds int) (Result, error) {
 		return Result{Rounds: 0, N: g.N()}, nil
 	}
 	for r := 0; r < budget; r++ {
-		st.Step(p.Round(r))
+		st.StepProgram(pr, r)
 		if st.GossipComplete() {
 			return Result{Rounds: r + 1, N: g.N()}, nil
 		}
@@ -233,9 +238,13 @@ func Simulate(g *graph.Digraph, p *Protocol, maxRounds int) (Result, error) {
 
 // SimulateBroadcast runs p on g until the item of source reaches every
 // processor, up to maxRounds. It uses the packed frontier backend (one bit
-// per vertex).
+// per vertex) executing the compiled schedule.
 func SimulateBroadcast(g *graph.Digraph, p *Protocol, source, maxRounds int) (Result, error) {
 	if err := p.Validate(g); err != nil {
+		return Result{}, err
+	}
+	pr, err := Compile(p, g.N(), 1)
+	if err != nil {
 		return Result{}, err
 	}
 	budget := maxRounds
@@ -247,7 +256,7 @@ func SimulateBroadcast(g *graph.Digraph, p *Protocol, source, maxRounds int) (Re
 		return Result{Rounds: 0, N: g.N()}, nil
 	}
 	for r := 0; r < budget; r++ {
-		st.Step(p.Round(r))
+		st.StepProgram(pr, r)
 		if st.Complete() {
 			return Result{Rounds: r + 1, N: g.N()}, nil
 		}
@@ -262,37 +271,16 @@ func SimulateBroadcast(g *graph.Digraph, p *Protocol, source, maxRounds int) (Re
 // (by forward propagation of reachability sets per source), so tests can
 // cross-check the simulator.
 //
-// The reachability and frontier buffers are allocated once and shared
-// across sources (a per-source stamp replaces clearing), each source's
-// round scan bails as soon as its item has certified every vertex, and a
-// failed source aborts the whole check immediately.
+// The protocol is compiled once on entry and the propagation runs on the
+// packed schedule (Program.CompletionCertificate): the reachability and
+// frontier buffers are allocated once and shared across sources (a
+// per-source stamp replaces clearing), each source's round scan bails as
+// soon as its item has certified every vertex, and a failed source aborts
+// the whole check immediately.
 func CompletionCertificate(g *graph.Digraph, p *Protocol, t int) bool {
-	n := g.N()
-	reached := make([]int, n) // reached[v] == x+1: the item of x can be at v
-	gained := make([]int, 0, n)
-	for x := 0; x < n; x++ {
-		stamp := x + 1
-		reached[x] = stamp
-		cnt := 1
-		for r := 0; r < t && cnt < n; r++ {
-			round := p.Round(r)
-			// Items move along arcs whose tail already holds them. Within a
-			// single round an item crosses at most one arc (matching), and
-			// staging the gains enforces "beginning of round" semantics.
-			gained = gained[:0]
-			for _, a := range round {
-				if reached[a.From] == stamp && reached[a.To] != stamp {
-					gained = append(gained, a.To)
-				}
-			}
-			for _, v := range gained {
-				reached[v] = stamp
-			}
-			cnt += len(gained)
-		}
-		if cnt < n {
-			return false
-		}
+	pr, err := Compile(p, g.N(), 1)
+	if err != nil {
+		panic(fmt.Sprintf("gossip: certificate on invalid schedule: %v", err))
 	}
-	return true
+	return pr.CompletionCertificate(t)
 }

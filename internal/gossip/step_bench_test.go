@@ -47,6 +47,84 @@ func BenchmarkStepSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkCompiledStep measures the compiled hot path on the 4096-vertex
+// hypercube H(12) running the dimension-exchange schedule: the schedule is
+// lowered once into a Program (precomputed word offsets, coalesced sender
+// copy-spans — here a single whole-array memcpy per round, dst-sorted
+// merges) and Step executes the IR with zero allocations. Compare with
+// BenchmarkUncompiledStep, the slice-interpreted Step on the identical
+// workload, for the compile-once win; BenchmarkStep (DB(2,12), a ~4×
+// smaller per-round workload) remains the cross-PR regression anchor.
+func BenchmarkCompiledStep(b *testing.B) {
+	hc := topology.Hypercube(12)
+	p := protocols.HypercubeExchange(12)
+	n := hc.N()
+	prog, err := gossip.Compile(p, n, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := gossip.NewState(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.StepProgram(prog, i)
+	}
+}
+
+// BenchmarkUncompiledStep is the slice-interpreted baseline for
+// BenchmarkCompiledStep: the same hypercube d=12 exchange schedule driven
+// through State.Step on raw []graph.Arc rounds.
+func BenchmarkUncompiledStep(b *testing.B) {
+	hc := topology.Hypercube(12)
+	p := protocols.HypercubeExchange(12)
+	st := gossip.NewState(hc.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step(p.Round(i))
+	}
+}
+
+// BenchmarkCompiledStepSharded is BenchmarkCompiledStep with the worker
+// pool attached, executing the compile-time shard partition (contiguous
+// receiver ranges and balanced sender spans instead of per-step ownership
+// scans).
+func BenchmarkCompiledStepSharded(b *testing.B) {
+	hc := topology.Hypercube(12)
+	p := protocols.HypercubeExchange(12)
+	n := hc.N()
+	prog, err := gossip.Compile(p, n, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := gossip.NewState(n)
+	pool := gossip.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	st.UsePool(pool)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.StepProgram(prog, i)
+	}
+}
+
+// BenchmarkProgramCompile measures the one-off lowering cost itself —
+// packing, dst-sorting and span-merging the hypercube d=12 schedule — the
+// price paid once per session (or once per program-cache fill) to make
+// every subsequent round cheaper.
+func BenchmarkProgramCompile(b *testing.B) {
+	hc := topology.Hypercube(12)
+	p := protocols.HypercubeExchange(12)
+	n := hc.N()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gossip.Compile(p, n, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCompletionCertificate measures the independent certificate
 // checker on DB(2,8) with its hoisted, stamp-reset buffers.
 func BenchmarkCompletionCertificate(b *testing.B) {

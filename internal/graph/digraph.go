@@ -183,6 +183,12 @@ func (g *Digraph) Reverse() *Digraph {
 	return r
 }
 
+// EnsureSorted sorts the adjacency lists now instead of on the first
+// traversal. Call it before sharing a fully built digraph across
+// goroutines: the lazy sort mutates the graph, so concurrent first
+// traversals would race.
+func (g *Digraph) EnsureSorted() { g.sortAdj() }
+
 // sortAdj sorts adjacency lists for deterministic traversal order.
 func (g *Digraph) sortAdj() {
 	if g.sorted {

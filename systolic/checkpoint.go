@@ -2,10 +2,8 @@ package systolic
 
 import (
 	"encoding/base64"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"io"
 
 	"repro/internal/gossip"
@@ -56,29 +54,6 @@ const (
 	checkpointModeBroadcast = "broadcast"
 )
 
-// protocolFingerprint hashes the schedule a session executes — mode, period
-// and the arcs of every explicit round — into the checkpoint field that
-// ties a snapshot to its protocol.
-func protocolFingerprint(p *Protocol) string {
-	h := fnv.New64a()
-	var word [8]byte
-	put := func(v int) {
-		binary.LittleEndian.PutUint64(word[:], uint64(v))
-		h.Write(word[:])
-	}
-	put(int(p.Mode))
-	put(p.Period)
-	put(len(p.Rounds))
-	for _, round := range p.Rounds {
-		put(len(round))
-		for _, a := range round {
-			put(a.From)
-			put(a.To)
-		}
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
-}
-
 // Snapshot captures the session's current state as a checkpoint. The
 // session can keep stepping afterwards; the checkpoint is independent.
 func (s *Session) Snapshot() *Checkpoint {
@@ -91,7 +66,7 @@ func (s *Session) Snapshot() *Checkpoint {
 		Round:     s.round,
 		Done:      s.done,
 		Knowledge: s.Knowledge(),
-		Protocol:  protocolFingerprint(s.proto),
+		Protocol:  s.prog.Fingerprint(),
 		Frontier:  s.Frontier(),
 	}
 	var payload []byte
@@ -133,7 +108,7 @@ func (s *Session) Restore(c *Checkpoint) error {
 	if s.broadcast && c.Source != s.source {
 		return fmt.Errorf("systolic: checkpoint broadcasts from %d, session from %d", c.Source, s.source)
 	}
-	if fp := protocolFingerprint(s.proto); c.Protocol != fp {
+	if fp := s.prog.Fingerprint(); c.Protocol != fp {
 		return fmt.Errorf("systolic: checkpoint was taken under protocol %s, session runs %s", c.Protocol, fp)
 	}
 	if c.Round < 0 {

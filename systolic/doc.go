@@ -24,12 +24,19 @@
 //     }
 //     ck := sess.Snapshot()               // JSON-serializable checkpoint
 //
-//     Underneath, knowledge lives in a flat double-buffered word array —
-//     a steady-state Step allocates nothing — and sessions on networks
-//     with at least DefaultShardThreshold vertices shard each round across
-//     a worker pool (WithWorkers), byte-identical to serial. Session.Frontier
-//     reports the per-round newly-informed counts; NewBroadcastEngine runs
-//     broadcasts on a packed one-bit-per-vertex frontier backend.
+//     Underneath, NewEngine compiles the validated schedule once into a
+//     flat program IR (precomputed word offsets, fused full-duplex
+//     exchanges, snapshot elision, compile-time shard partitions) that
+//     every execution layer shares; CompileProtocol exposes the compiled
+//     Program so callers that run one schedule many times — the serving
+//     layer's program cache — can build sessions with NewEngineFromProgram
+//     and skip validate+compile entirely. Knowledge lives in a flat
+//     double-buffered word array — a steady-state Step allocates nothing —
+//     and sessions on networks with at least DefaultShardThreshold vertices
+//     shard each round across a worker pool (WithWorkers), byte-identical
+//     to serial. Session.Frontier reports the per-round newly-informed
+//     counts; NewBroadcastEngine runs broadcasts on a packed
+//     one-bit-per-vertex frontier backend.
 //
 //   - Option-based, context-aware one-shot wrappers. Simulate, Analyze and
 //     AnalyzeBroadcast are conveniences over a session run to completion:

@@ -30,6 +30,7 @@ type Session struct {
 
 	broadcast bool
 	source    int
+	prog      *gossip.Program       // compiled schedule IR, shared by every backend
 	st        *gossip.State         // gossip backend
 	fr        *gossip.FrontierState // broadcast backend (packed frontier)
 	pool      *gossip.Pool
@@ -41,28 +42,20 @@ type Session struct {
 	frontier []int
 }
 
-// NewEngine validates p on the network and returns a session positioned at
-// round zero, ready to Step or Run. The round budget, trace observer,
-// worker count and shard threshold come from the options; with more than
-// one worker and at least WithShardThreshold vertices the session shards
-// every Step across a persistent pool (results are byte-identical to
-// serial).
+// NewEngine validates p on the network, compiles it once into the shared
+// schedule IR (see Program), and returns a session positioned at round
+// zero, ready to Step or Run. The round budget, trace observer, worker
+// count and shard threshold come from the options; with more than one
+// worker and at least WithShardThreshold vertices the session shards every
+// Step across a persistent pool (results are byte-identical to serial).
+// Callers that already hold a compiled Program use NewEngineFromProgram
+// and skip the validate+compile work entirely.
 func NewEngine(net *Network, p *Protocol, opts ...Option) (*Session, error) {
-	cfg := newConfig(opts)
-	if err := p.Validate(net.G); err != nil {
+	pr, err := CompileProtocol(net, p)
+	if err != nil {
 		return nil, err
 	}
-	s := &Session{net: net, proto: p, cfg: cfg}
-	s.initBudget()
-	n := net.G.N()
-	s.st = gossip.NewState(n)
-	s.target = n * n
-	if cfg.workers > 1 && n >= cfg.shardThreshold {
-		s.pool = gossip.NewPool(cfg.workers)
-		s.st.UsePool(s.pool)
-	}
-	s.done = s.complete()
-	return s, nil
+	return NewEngineFromProgram(pr, opts...)
 }
 
 // NewBroadcastEngine builds the BFS-tree broadcast schedule from source and
@@ -79,7 +72,13 @@ func NewBroadcastEngine(net *Network, source int, opts ...Option) (*Session, err
 	if err := p.Validate(net.G); err != nil {
 		return nil, err
 	}
-	s := &Session{net: net, proto: p, cfg: cfg, broadcast: true, source: source}
+	// Broadcasts compile against the 1-item frontier shape: the packed
+	// backend addresses vertices directly, one bit each.
+	prog, err := gossip.Compile(p, n, 1)
+	if err != nil {
+		return nil, fmt.Errorf("systolic: compile broadcast on %s: %w", net.Name, err)
+	}
+	s := &Session{net: net, proto: p, prog: prog, cfg: cfg, broadcast: true, source: source}
 	s.initBudget()
 	s.fr = gossip.NewFrontierState(n, source)
 	s.target = n
@@ -154,13 +153,12 @@ func (s *Session) Step(ctx context.Context, k int) (int, error) {
 		if s.round >= s.budget {
 			return executed, fmt.Errorf("%w (budget %d)", ErrIncomplete, s.budget)
 		}
-		arcs := s.proto.Round(s.round)
 		var gained int
 		if s.broadcast {
-			gained = s.fr.Step(arcs)
+			gained = s.fr.StepProgram(s.prog, s.round)
 		} else {
 			before := s.st.TotalKnowledge()
-			s.st.Step(arcs)
+			s.st.StepProgram(s.prog, s.round)
 			gained = s.st.TotalKnowledge() - before
 		}
 		s.round++

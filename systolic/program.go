@@ -1,0 +1,68 @@
+package systolic
+
+import (
+	"fmt"
+
+	"repro/internal/gossip"
+)
+
+// Program is a protocol compiled onto a concrete network: the validated
+// schedule lowered once into the flat IR every execution layer shares
+// (serial state, sharded pool, certificates — see repro/internal/gossip).
+// Compilation subsumes validation, so a session built from a Program skips
+// both; serving layers cache Programs across requests (keyed by
+// RequestKey-style identities) to make a result-cache miss skip the whole
+// build→validate→compile pipeline.
+//
+// A Program is immutable and safe to share: any number of concurrent
+// sessions may execute one compiled program.
+type Program struct {
+	net   *Network
+	proto *Protocol
+	prog  *gossip.Program
+}
+
+// CompileProtocol validates p on the network and lowers it into the shared
+// schedule IR. The network's adjacency lists are force-sorted so the
+// resulting Program (which retains the network) can back concurrent
+// sessions without racing on the digraph's lazy traversal sort.
+func CompileProtocol(net *Network, p *Protocol) (*Program, error) {
+	if err := p.Validate(net.G); err != nil {
+		return nil, err
+	}
+	net.G.EnsureSorted()
+	prog, err := gossip.Compile(p, net.G.N(), net.G.N())
+	if err != nil {
+		return nil, fmt.Errorf("systolic: compile on %s: %w", net.Name, err)
+	}
+	return &Program{net: net, proto: p, prog: prog}, nil
+}
+
+// Network returns the network the program was compiled on.
+func (pr *Program) Network() *Network { return pr.net }
+
+// Protocol returns the source protocol.
+func (pr *Program) Protocol() *Protocol { return pr.proto }
+
+// Fingerprint returns the FNV-1a schedule fingerprint — the identity
+// recorded in checkpoints and used by program caches.
+func (pr *Program) Fingerprint() string { return pr.prog.Fingerprint() }
+
+// NewEngineFromProgram returns a fresh session at round zero executing an
+// already compiled program, skipping re-validation and re-compilation. It
+// is the entry point for serving layers that cache Programs; NewEngine is
+// the compile-per-session convenience over it.
+func NewEngineFromProgram(pr *Program, opts ...Option) (*Session, error) {
+	cfg := newConfig(opts)
+	s := &Session{net: pr.net, proto: pr.proto, prog: pr.prog, cfg: cfg}
+	s.initBudget()
+	n := pr.net.G.N()
+	s.st = gossip.NewState(n)
+	s.target = n * n
+	if cfg.workers > 1 && n >= cfg.shardThreshold {
+		s.pool = gossip.NewPool(cfg.workers)
+		s.st.UsePool(s.pool)
+	}
+	s.done = s.complete()
+	return s, nil
+}

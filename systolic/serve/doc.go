@@ -13,6 +13,19 @@
 // on a worker pool of Config.Workers slots with a bounded wait queue —
 // beyond Config.QueueDepth waiters the server answers 429.
 //
+// Behind the result cache sits a second sharded LRU of compiled programs:
+// an analyze that misses the result cache looks up its schedule (keyed by
+// kind, params, protocol and budget — source- and operation-independent) in
+// the program cache and, on a hit, starts its session from the cached
+// network + compiled schedule IR (systolic.Program via
+// NewEngineFromProgram), skipping topology build, protocol construction,
+// validation and compilation entirely; only a cold schedule pays the full
+// build→validate→compile pipeline, once. Compiled programs are immutable
+// and shared by any number of concurrent sessions. Config.ProgramCacheSize
+// bounds the cache; the gossipd_program_cache_hits_total /
+// gossipd_program_cache_misses_total counters on /metrics (and the
+// program_entries gauge on /healthz) expose its behavior.
+//
 // # Wire schema
 //
 // POST /v1/analyze — analyze one protocol on one topology:
@@ -80,11 +93,13 @@
 //	 "protocols": ["cycle2", "doubling", ...]}
 //
 // GET /healthz — liveness plus load: {"status": "ok" | "draining",
-// "uptime_seconds", "inflight", "queued", "cache_entries"}.
+// "uptime_seconds", "inflight", "queued", "cache_entries",
+// "program_entries"}.
 //
 // GET /metrics — Prometheus text format: requests by endpoint, cache
-// hits/misses and hit ratio, dedup shares, simulations run, rounds
-// simulated, queue rejections, in-flight sessions, queue depth.
+// hits/misses and hit ratio, program-cache hits/misses, dedup shares,
+// simulations run, rounds simulated, queue rejections, in-flight sessions,
+// queue depth.
 //
 // # Errors
 //

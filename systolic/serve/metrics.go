@@ -16,15 +16,17 @@ type Metrics struct {
 	mu       sync.Mutex
 	requests map[string]*atomic.Int64 // per-endpoint request counters
 
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	dedupShared atomic.Int64 // requests attached to an already-running flight
-	simulations atomic.Int64 // underlying simulations actually run
-	rounds      atomic.Int64 // simulated rounds, via the trace observer
-	rejected    atomic.Int64 // 429s from a saturated queue
-	inflight    atomic.Int64 // computations currently running
-	queued      atomic.Int64 // computations waiting for a worker
-	jobsDone    atomic.Int64 // async jobs finished (any terminal status)
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	programHits   atomic.Int64 // analyses that reused a cached compiled program
+	programMisses atomic.Int64 // analyses that had to build+validate+compile
+	dedupShared   atomic.Int64 // requests attached to an already-running flight
+	simulations   atomic.Int64 // underlying simulations actually run
+	rounds        atomic.Int64 // simulated rounds, via the trace observer
+	rejected      atomic.Int64 // 429s from a saturated queue
+	inflight      atomic.Int64 // computations currently running
+	queued        atomic.Int64 // computations waiting for a worker
+	jobsDone      atomic.Int64 // async jobs finished (any terminal status)
 }
 
 func newMetrics() *Metrics {
@@ -44,16 +46,18 @@ func (m *Metrics) request(endpoint string) {
 
 // Snapshot is a point-in-time copy of every metric.
 type Snapshot struct {
-	Requests    map[string]int64 `json:"requests"`
-	CacheHits   int64            `json:"cache_hits"`
-	CacheMisses int64            `json:"cache_misses"`
-	DedupShared int64            `json:"dedup_shared"`
-	Simulations int64            `json:"simulations"`
-	Rounds      int64            `json:"rounds_simulated"`
-	Rejected    int64            `json:"rejected"`
-	Inflight    int64            `json:"inflight"`
-	Queued      int64            `json:"queued"`
-	JobsDone    int64            `json:"jobs_done"`
+	Requests      map[string]int64 `json:"requests"`
+	CacheHits     int64            `json:"cache_hits"`
+	CacheMisses   int64            `json:"cache_misses"`
+	ProgramHits   int64            `json:"program_cache_hits"`
+	ProgramMisses int64            `json:"program_cache_misses"`
+	DedupShared   int64            `json:"dedup_shared"`
+	Simulations   int64            `json:"simulations"`
+	Rounds        int64            `json:"rounds_simulated"`
+	Rejected      int64            `json:"rejected"`
+	Inflight      int64            `json:"inflight"`
+	Queued        int64            `json:"queued"`
+	JobsDone      int64            `json:"jobs_done"`
 }
 
 // HitRatio returns cache hits over cache-answerable lookups, 0 when none
@@ -70,16 +74,18 @@ func (s Snapshot) HitRatio() float64 {
 // individually; the snapshot is not atomic across metrics).
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Requests:    make(map[string]int64),
-		CacheHits:   m.cacheHits.Load(),
-		CacheMisses: m.cacheMisses.Load(),
-		DedupShared: m.dedupShared.Load(),
-		Simulations: m.simulations.Load(),
-		Rounds:      m.rounds.Load(),
-		Rejected:    m.rejected.Load(),
-		Inflight:    m.inflight.Load(),
-		Queued:      m.queued.Load(),
-		JobsDone:    m.jobsDone.Load(),
+		Requests:      make(map[string]int64),
+		CacheHits:     m.cacheHits.Load(),
+		CacheMisses:   m.cacheMisses.Load(),
+		ProgramHits:   m.programHits.Load(),
+		ProgramMisses: m.programMisses.Load(),
+		DedupShared:   m.dedupShared.Load(),
+		Simulations:   m.simulations.Load(),
+		Rounds:        m.rounds.Load(),
+		Rejected:      m.rejected.Load(),
+		Inflight:      m.inflight.Load(),
+		Queued:        m.queued.Load(),
+		JobsDone:      m.jobsDone.Load(),
 	}
 	m.mu.Lock()
 	for ep, c := range m.requests {
@@ -111,6 +117,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	}
 	counter("gossipd_cache_hits_total", "Requests answered from the result cache.", s.CacheHits)
 	counter("gossipd_cache_misses_total", "Requests that missed the result cache.", s.CacheMisses)
+	counter("gossipd_program_cache_hits_total", "Analyses that reused a cached compiled program.", s.ProgramHits)
+	counter("gossipd_program_cache_misses_total", "Analyses that built, validated and compiled their schedule.", s.ProgramMisses)
 	counter("gossipd_dedup_shared_total", "Requests coalesced onto an already-running identical computation.", s.DedupShared)
 	counter("gossipd_simulations_total", "Underlying simulations actually run.", s.Simulations)
 	counter("gossipd_rounds_simulated_total", "Communication rounds simulated across all sessions.", s.Rounds)

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"repro/systolic"
+)
+
+// TestProgramCacheReuse: the first analyze for a schedule pays
+// build+validate+compile; later analyses with the same topology, protocol
+// and budget — result hit or miss — reuse the cached Program. Requests
+// that differ only in budget compile separately (the budget can shape
+// greedy constructions).
+func TestProgramCacheReuse(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	n, err := normalizeAnalyze(analyzeDB25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr1, err := s.compiledProgram(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, err := s.compiledProgram(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr1 != pr2 {
+		t.Error("second lookup compiled a fresh program instead of reusing the cache")
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.ProgramMisses != 1 || snap.ProgramHits != 1 {
+		t.Errorf("program cache misses=%d hits=%d, want 1/1", snap.ProgramMisses, snap.ProgramHits)
+	}
+
+	// A different budget is a different program identity.
+	req := analyzeDB25
+	req.Budget = 777
+	nb, err := normalizeAnalyze(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.progKey == n.progKey {
+		t.Fatal("budget is not part of the program key")
+	}
+	pr3, err := s.compiledProgram(nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr3 == pr1 {
+		t.Error("different budget reused the same cached program")
+	}
+
+	// The cached program must drive sessions to the same report as a
+	// compile-per-request path.
+	sess, err := systolic.NewEngineFromProgram(pr1, systolic.WithRoundBudget(n.budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	got, err := sess.Analyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := systolic.New(n.kind, n.paramList...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := systolic.NewProtocol(n.protocol, net, n.budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := systolic.Analyze(context.Background(), net, p, systolic.WithRoundBudget(n.budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Measured != want.Measured || got.Network != want.Network || got.Period != want.Period {
+		t.Errorf("cached-program report %+v differs from fresh report %+v", got, want)
+	}
+}
+
+// TestProgramCacheAcrossRequests drives the HTTP path: an analyze for the
+// same schedule under a different budget misses the result cache but
+// reuses the compiled program.
+func TestProgramCacheAcrossRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := analyzeDB25
+	postJSON(t, ts.Client(), ts.URL+"/v1/analyze", req).Body.Close()
+	req.Budget = 5000 // result-cache miss; the budget also keys a separate program
+	postJSON(t, ts.Client(), ts.URL+"/v1/analyze", req).Body.Close()
+	snap := s.Metrics().Snapshot()
+	if snap.ProgramMisses != 2 {
+		t.Errorf("distinct budgets should compile separately: misses=%d", snap.ProgramMisses)
+	}
+
+	// Identical request again: answered from the result cache, no program
+	// lookup at all.
+	postJSON(t, ts.Client(), ts.URL+"/v1/analyze", req).Body.Close()
+	snap2 := s.Metrics().Snapshot()
+	if snap2.ProgramMisses != snap.ProgramMisses || snap2.ProgramHits != snap.ProgramHits {
+		t.Errorf("result-cache hit touched the program cache: %+v vs %+v", snap2, snap)
+	}
+	if snap2.CacheHits == 0 {
+		t.Error("third request missed the result cache")
+	}
+}

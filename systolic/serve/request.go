@@ -63,7 +63,10 @@ func badRequestf(format string, args ...any) error {
 }
 
 // normalized is a validated request reduced to its canonical form: the
-// instantiable inputs plus the cache key they canonicalize to.
+// instantiable inputs plus the cache keys they canonicalize to (key
+// identifies the result; progKey identifies the compiled program, which is
+// source- and operation-independent so analyses over the same schedule
+// share one compilation).
 type normalized struct {
 	kind      string
 	paramList []systolic.Param
@@ -72,7 +75,18 @@ type normalized struct {
 	budget    int
 	source    int
 	key       string
+	progKey   string
 }
+
+// opProgram keys compiled programs in the program cache: the same
+// RequestKey canonical form, with the operation pinned and no source. The
+// budget stays in the key even though compilation itself ignores it: the
+// greedy protocol *constructions* consume the budget (an insufficient one
+// fails at build time), so keying programs budget-free would make a greedy
+// request's outcome depend on whether another budget warmed the cache
+// first. Budget-insensitive schedules pay at most one extra compile per
+// distinct budget.
+const opProgram = "program"
 
 // normalizeParams validates the named parameters against the wire
 // vocabulary and builds the systolic representation in deterministic order.
@@ -124,6 +138,7 @@ func normalizeAnalyze(req AnalyzeRequest) (normalized, error) {
 		protocol: req.Protocol, budget: budget, source: systolic.NoSource,
 	}
 	n.key = systolic.RequestKey(systolic.OpAnalyze, n.kind, n.params, n.protocol, n.budget, n.source)
+	n.progKey = systolic.RequestKey(opProgram, n.kind, n.params, n.protocol, n.budget, systolic.NoSource)
 	return n, nil
 }
 

@@ -26,6 +26,10 @@ type Config struct {
 	QueueDepth int
 	// CacheSize bounds the result cache (default 1024 entries).
 	CacheSize int
+	// ProgramCacheSize bounds the compiled-program cache (default 256
+	// entries): built networks plus their compiled schedules, kept across
+	// requests so a result-cache miss skips build+validate+compile.
+	ProgramCacheSize int
 	// SpoolDir persists async job results (and the checkpoints of
 	// budget-incomplete analyze jobs) as JSON files; empty keeps jobs in
 	// memory only.
@@ -48,6 +52,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 1024
 	}
+	if c.ProgramCacheSize <= 0 {
+		c.ProgramCacheSize = 256
+	}
 	if c.MaxSweepJobs <= 0 {
 		c.MaxSweepJobs = 256
 	}
@@ -66,12 +73,13 @@ func (c Config) withDefaults() Config {
 // simulation, and the simulations themselves run on a bounded worker pool.
 // See the package documentation for the wire schema.
 type Server struct {
-	cfg     Config
-	cache   *resultCache
-	flights group
-	jobs    *jobStore
-	metrics *Metrics
-	mux     *http.ServeMux
+	cfg      Config
+	cache    *resultCache
+	programs *resultCache // compiled *systolic.Program by program key
+	flights  group
+	jobs     *jobStore
+	metrics  *Metrics
+	mux      *http.ServeMux
 
 	sem        chan struct{}
 	wg         sync.WaitGroup // in-flight computations and async jobs
@@ -96,12 +104,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		cache:   newResultCache(cfg.CacheSize),
-		jobs:    jobs,
-		metrics: newMetrics(),
-		sem:     make(chan struct{}, cfg.Workers),
-		started: time.Now(),
+		cfg:      cfg,
+		cache:    newResultCache(cfg.CacheSize),
+		programs: newResultCache(cfg.ProgramCacheSize),
+		jobs:     jobs,
+		metrics:  newMetrics(),
+		sem:      make(chan struct{}, cfg.Workers),
+		started:  time.Now(),
 	}
 	s.base, s.baseCancel = context.WithCancel(context.Background())
 	mux := http.NewServeMux()
@@ -300,11 +309,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         status,
-		"uptime_seconds": time.Since(s.started).Seconds(),
-		"inflight":       s.metrics.inflight.Load(),
-		"queued":         s.metrics.queued.Load(),
-		"cache_entries":  s.cache.len(),
+		"status":          status,
+		"uptime_seconds":  time.Since(s.started).Seconds(),
+		"inflight":        s.metrics.inflight.Load(),
+		"queued":          s.metrics.queued.Load(),
+		"cache_entries":   s.cache.len(),
+		"program_entries": s.programs.len(),
 	})
 }
 
@@ -368,11 +378,18 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// runAnalyzeSession drives one analyze through the resumable engine. For an
-// async job that hits its round budget, the session is checkpointed into
-// the spool (systolic.Snapshot + WriteCheckpoint) before the error returns,
-// so the client can fetch the checkpoint and resume with a higher budget.
-func (s *Server) runAnalyzeSession(ctx context.Context, n normalized, jobID string) (any, error) {
+// compiledProgram resolves an analyze request to a compiled schedule
+// through the program cache: a hit returns the shared immutable
+// network+program pair built by an earlier request (compiled programs are
+// safe to execute from any number of concurrent sessions); a miss pays
+// build+validate+compile once and publishes the result for the next
+// request with the same topology, protocol and budget.
+func (s *Server) compiledProgram(n normalized) (*systolic.Program, error) {
+	if v, ok := s.programs.get(n.progKey); ok {
+		s.metrics.programHits.Add(1)
+		return v.(*systolic.Program), nil
+	}
+	s.metrics.programMisses.Add(1)
 	net, err := systolic.New(n.kind, n.paramList...)
 	if err != nil {
 		return nil, err
@@ -381,7 +398,25 @@ func (s *Server) runAnalyzeSession(ctx context.Context, n normalized, jobID stri
 	if err != nil {
 		return nil, err
 	}
-	sess, err := systolic.NewEngine(net, p, systolic.WithRoundBudget(n.budget), s.roundsObserver())
+	pr, err := systolic.CompileProtocol(net, p)
+	if err != nil {
+		return nil, err
+	}
+	s.programs.add(n.progKey, pr)
+	return pr, nil
+}
+
+// runAnalyzeSession drives one analyze through the resumable engine,
+// executing the cached compiled program. For an async job that hits its
+// round budget, the session is checkpointed into the spool
+// (systolic.Snapshot + WriteCheckpoint) before the error returns, so the
+// client can fetch the checkpoint and resume with a higher budget.
+func (s *Server) runAnalyzeSession(ctx context.Context, n normalized, jobID string) (any, error) {
+	pr, err := s.compiledProgram(n)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := systolic.NewEngineFromProgram(pr, systolic.WithRoundBudget(n.budget), s.roundsObserver())
 	if err != nil {
 		return nil, err
 	}

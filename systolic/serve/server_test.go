@@ -729,6 +729,8 @@ func TestHealthzMetricsAndDrain(t *testing.T) {
 	for _, want := range []string{
 		`gossipd_requests_total{endpoint="analyze"} 2`,
 		"gossipd_cache_hits_total 1",
+		"gossipd_program_cache_misses_total 1",
+		"gossipd_program_cache_hits_total 0",
 		"gossipd_simulations_total 1",
 		"gossipd_rounds_simulated_total",
 		"gossipd_inflight_sessions 0",
