@@ -15,18 +15,22 @@ import (
 )
 
 // loadtestMix is the request workload: a rotation of small, fast analyses
-// plus a broadcast, so a run exercises both cold simulations and (heavily)
-// the cache/dedup path. Bodies are pre-marshaled JSON.
+// and certifications plus a broadcast, so a run exercises cold simulations,
+// the certification pipeline (program + delay-plan caches) and (heavily)
+// the result cache/dedup path. Bodies are pre-marshaled JSON.
 var loadtestMix = []struct {
 	path string
 	body string
 }{
 	{"/v1/analyze", `{"kind":"debruijn","params":{"degree":2,"diameter":4},"protocol":"periodic-half"}`},
 	{"/v1/analyze", `{"kind":"debruijn","params":{"degree":2,"diameter":5},"protocol":"periodic-half"}`},
+	{"/v1/certify", `{"kind":"debruijn","params":{"degree":2,"diameter":5},"protocol":"periodic-half"}`},
 	{"/v1/analyze", `{"kind":"kautz","params":{"degree":2,"diameter":3},"protocol":"periodic-full"}`},
 	{"/v1/analyze", `{"kind":"kautz","params":{"degree":2,"diameter":4},"protocol":"periodic-full"}`},
+	{"/v1/certify", `{"kind":"kautz","params":{"degree":2,"diameter":4},"protocol":"periodic-full"}`},
 	{"/v1/analyze", `{"kind":"hypercube","params":{"dimension":4},"protocol":"hypercube"}`},
 	{"/v1/analyze", `{"kind":"hypercube","params":{"dimension":5},"protocol":"hypercube"}`},
+	{"/v1/certify", `{"kind":"hypercube","params":{"dimension":5},"protocol":"hypercube"}`},
 	{"/v1/analyze", `{"kind":"complete","params":{"nodes":16},"protocol":"doubling"}`},
 	{"/v1/broadcast", `{"kind":"hypercube","params":{"dimension":5},"source":0}`},
 	{"/v1/sweep", `{"jobs":[{"kind":"debruijn","params":{"degree":2,"diameter":4},"protocol":"periodic-half"},{"kind":"kautz","params":{"degree":2,"diameter":3},"protocol":"periodic-full"}]}`},
@@ -117,6 +121,8 @@ func runLoadtest(cfg serve.Config, base string, duration time.Duration, concurre
 			snap.HitRatio(), snap.Simulations, snap.DedupShared, snap.Rounds, snap.Rejected)
 		fmt.Fprintf(os.Stdout, "programs: %d compiled, %d reused from the program cache\n",
 			snap.ProgramMisses, snap.ProgramHits)
+		fmt.Fprintf(os.Stdout, "delay plans: %d compiled, %d reused from the plan cache\n",
+			snap.PlanMisses, snap.PlanHits)
 	}
 	if float64(errors) > 0.01*float64(total) {
 		return fmt.Errorf("loadtest: %d/%d requests failed", errors, total)

@@ -36,6 +36,7 @@ func main() {
 	queue := flag.Int("queue", 0, "queued computations before 429 (0 = default 64)")
 	cache := flag.Int("cache", 0, "result cache entries (0 = default 1024)")
 	programCache := flag.Int("program-cache", 0, "compiled-program cache entries (0 = default 256)")
+	planCache := flag.Int("plan-cache", 0, "compiled delay-plan cache entries (0 = default 256)")
 	spool := flag.String("spool", "", "directory persisting async job results and checkpoints")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget")
 	loadtest := flag.Bool("loadtest", false, "run the load generator instead of serving")
@@ -45,11 +46,12 @@ func main() {
 	flag.Parse()
 
 	cfg := serve.Config{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		CacheSize:        *cache,
-		ProgramCacheSize: *programCache,
-		SpoolDir:         *spool,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CacheSize:          *cache,
+		ProgramCacheSize:   *programCache,
+		DelayPlanCacheSize: *planCache,
+		SpoolDir:           *spool,
 	}
 	if *loadtest {
 		if err := runLoadtest(cfg, *target, *duration, *concurrency); err != nil {

@@ -1,9 +1,9 @@
 // Command reproduce is the one-shot reproduction driver: it regenerates all
 // four numeric tables (Figs. 4, 5, 6, 8), checks every in-text golden value,
 // verifies the Lemma 3.1 separators by BFS (including the literal-vs-marker
-// de Bruijn finding), and runs the upper-vs-lower protocol sweep in parallel
-// through the systolic.Sweep engine (the output order is deterministic and
-// identical to a serial run). Output is the live counterpart of
+// de Bruijn finding), and certifies the upper-vs-lower protocol grid through
+// the unified certification pipeline (systolic.Certify, jobs in parallel,
+// deterministic output order). Output is the live counterpart of
 // EXPERIMENTS.md.
 package main
 
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 
 	"repro/internal/bounds"
 	"repro/internal/separator"
@@ -73,7 +74,7 @@ func main() {
 	fmt.Println("\n== Separator verification (BFS) ==")
 	verifySeparators()
 
-	fmt.Println("\n== Upper vs lower (simulated protocols) ==")
+	fmt.Println("\n== Upper vs lower (certified protocols) ==")
 	sweep()
 
 	if failed {
@@ -109,10 +110,12 @@ func report(measured int, err error) {
 	fmt.Printf("  separator verified: min distance %d meets its promise\n", measured)
 }
 
-// sweep fans the upper-vs-lower grid across GOMAXPROCS workers through the
-// streaming sweep engine. Results arrive in completion order and are held
-// back until their predecessors print, so the table matches the old serial
-// loop byte for byte while each row still prints as early as possible.
+// sweep drives the upper-vs-lower grid through the unified certification
+// pipeline: each job runs systolic.Certify (compiled program + compiled
+// delay plan + zero-alloc λ evaluations) and the certificate's typed
+// verdicts — completeness, Theorem 4.1 applicability/respect, the
+// ‖M(λ₀)‖ ≤ 1 structural check — replace the hand-rolled report
+// comparisons. Jobs run concurrently; rows print in grid order.
 func sweep() {
 	jobs := []systolic.SweepJob{
 		{Label: "periodic half-duplex", Kind: "debruijn",
@@ -134,30 +137,77 @@ func sweep() {
 			Params:   []systolic.Param{systolic.Degree(2), systolic.Diameter(5)},
 			Protocol: systolic.UseProtocol("greedy-half", 100000)},
 	}
-	pending := make([]*systolic.SweepResult, len(jobs))
+	type certRow struct {
+		cert *systolic.Certificate
+		n    int
+		err  error
+	}
+	rows := make([]certRow, len(jobs))
+	done := make(chan int, len(jobs))
+	// Bounded fan-out: at most GOMAXPROCS jobs certify at once, like the
+	// sweep engine's worker pool — growing the grid must not oversubscribe
+	// the host.
+	feed := make(chan int)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range feed {
+				rows[i].cert, rows[i].n, rows[i].err = certifyJob(jobs[i])
+				done <- i
+			}
+		}()
+	}
+	go func() {
+		for i := range jobs {
+			feed <- i
+		}
+		close(feed)
+	}()
+	// Completed rows are held back until their predecessors print, so the
+	// table stays in grid order while each row still prints as early as
+	// possible — long greedy jobs don't silence the whole section.
+	ready := make([]bool, len(jobs))
 	next := 0
-	for res := range systolic.SweepStream(context.Background(), jobs, systolic.WithRoundBudget(200000)) {
-		pending[res.Index] = &res
-		for next < len(jobs) && pending[next] != nil {
-			printSweepRow(pending[next])
-			pending[next] = nil
+	for range jobs {
+		ready[<-done] = true
+		for next < len(jobs) && ready[next] {
+			printCertRow(jobs[next].Label, rows[next].cert, rows[next].n, rows[next].err)
 			next++
 		}
 	}
 }
 
-func printSweepRow(res *systolic.SweepResult) {
-	if res.Err != nil {
-		fmt.Printf("  %s: %v\n", res.Label, res.Err)
+// certifyJob instantiates one grid cell and certifies it. Each job keeps
+// its session serial — the jobs themselves already run concurrently.
+func certifyJob(job systolic.SweepJob) (*systolic.Certificate, int, error) {
+	net, err := systolic.New(job.Kind, job.Params...)
+	if err != nil {
+		return nil, 0, err
+	}
+	p, err := job.Protocol(net)
+	if err != nil {
+		return nil, 0, err
+	}
+	cert, err := systolic.Certify(context.Background(), net, p,
+		systolic.WithRoundBudget(200000), systolic.WithWorkers(1))
+	return cert, net.G.N(), err
+}
+
+func printCertRow(label string, cert *systolic.Certificate, n int, err error) {
+	if err != nil {
+		fmt.Printf("  %s: %v\n", label, err)
 		failed = true
 		return
 	}
-	rep := res.Report
 	ok := "ok"
-	if rep.Measured < rep.LowerBound.Rounds || !rep.TheoremRespected {
+	if !cert.Complete || !cert.TheoremApplicable || !cert.TheoremRespected ||
+		cert.Measured < cert.LowerBound.Rounds || (cert.NormChecked && !cert.NormRespected) {
 		ok = "VIOLATION"
 		failed = true
 	}
 	fmt.Printf("  %-10s %-22s n=%-4d measured %4d >= bound %3d  norm@root %.4f  %s\n",
-		res.Network, res.Label, res.N, rep.Measured, rep.LowerBound.Rounds, rep.NormAtRoot, ok)
+		cert.Network, label, n, cert.Measured, cert.LowerBound.Rounds, cert.NormAtRoot, ok)
 }

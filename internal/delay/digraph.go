@@ -4,6 +4,26 @@
 // rank-reduced companions Nx(λ) and Ox(λ) (Section 4, Figs. 1–3) whose
 // spectral analysis yields the norm bound of Lemma 4.3. The full-duplex
 // local matrix of Section 6 (Fig. 7) is also provided.
+//
+// Routine ↔ paper map:
+//
+//   - Build / NewPlan / Plan.Instance — the delay digraph DG of
+//     Definition 3.3 (Build per call; the Plan compiles the activation
+//     structure once and unrolls it per round count, the form the
+//     certification pipeline caches).
+//   - Digraph.Matrix / Instance.Matrix — the delay matrix M(λ) of
+//     Definition 3.4.
+//   - Digraph.Norm / Instance.Norm — ‖M(λ)‖₂, the quantity Theorem 4.1
+//     turns into the g(G) lower bound and Lemma 4.3 / Lemma 6.1 cap.
+//   - Digraph.LocalBlocks / MaxLocalNorm (both forms) — the row/column
+//     permutation of Section 4 splitting M(λ) into per-vertex blocks; their
+//     max norm equals ‖M(λ)‖ by norm property 8 of Section 2.
+//   - ExtractLocal / LocalProtocol — the local protocol ⟨(l_j),(r_j)⟩ one
+//     vertex sees (Section 4); Mx/Nx/Ox are Figs. 1 and 3, SemiEigenvector
+//     and Lemma42Check are Lemma 4.2, NormBound is Lemma 4.3.
+//   - FullDuplexMx / Lemma61Check — Fig. 7 and Lemma 6.1 (Section 6).
+//   - WeightMatrix / WeightedDiameterBound / BestWeightedDiameterBound —
+//     the Section 7 extension to weighted-diameter lower bounds.
 package delay
 
 import (
@@ -42,9 +62,31 @@ type Digraph struct {
 	N       int // vertices of the underlying network
 }
 
-// Build executes protocol p for t rounds on g and constructs the delay
-// digraph. It validates the protocol first.
+// Build constructs the delay digraph of protocol p executed for t rounds on
+// g. It validates the protocol first. Since the compile-cache-execute
+// refactor it is a thin wrapper over the compiled lowering: NewPlan derives
+// the per-round activation structure once and Instance unrolls it for t —
+// callers that build repeatedly (the certification pipeline) hold the Plan
+// and skip straight to Instance. The resulting digraph is identical to the
+// classic per-round construction (buildInterpreted, kept as the reference
+// the differential tests compare against).
 func Build(g *graph.Digraph, p *gossip.Protocol, t int) (*Digraph, error) {
+	pl, err := NewPlan(g, p)
+	if err != nil {
+		return nil, err
+	}
+	in, err := pl.Instance(t)
+	if err != nil {
+		return nil, err
+	}
+	return in.Digraph(), nil
+}
+
+// buildInterpreted is the classic O(rounds × arcs) delay-digraph
+// construction, executing the protocol round by round exactly as
+// Definition 3.3 reads. It is retained as the independent reference the
+// plan differential tests pin Build/Instance against.
+func buildInterpreted(g *graph.Digraph, p *gossip.Protocol, t int) (*Digraph, error) {
 	if err := p.Validate(g); err != nil {
 		return nil, err
 	}

@@ -57,17 +57,27 @@ func (g *Digraph) Eccentricity(u int) int {
 // Diameter returns the maximum directed eccentricity, or Unreached if the
 // digraph is not strongly connected. It runs a BFS per vertex, so it is
 // intended for the moderate instance sizes used in tests and experiments.
+// The result is memoized (and invalidated by AddArc/AddEdge), so the bound
+// evaluation inside every certification of a shared network pays the
+// all-pairs BFS once; concurrent callers serialize on the memo.
 func (g *Digraph) Diameter() int {
+	g.diamMu.Lock()
+	defer g.diamMu.Unlock()
+	if g.diamArcs == len(g.arcSet)+1 {
+		return g.diamVal
+	}
 	diam := 0
 	for u := 0; u < g.n; u++ {
 		ecc := g.Eccentricity(u)
 		if ecc == Unreached {
-			return Unreached
+			diam = Unreached
+			break
 		}
 		if ecc > diam {
 			diam = ecc
 		}
 	}
+	g.diamVal, g.diamArcs = diam, len(g.arcSet)+1
 	return diam
 }
 

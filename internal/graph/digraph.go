@@ -9,6 +9,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Arc is a directed communication link from From to To.
@@ -26,6 +27,13 @@ type Digraph struct {
 	in     [][]int
 	arcSet map[Arc]struct{}
 	sorted bool
+
+	// Diameter memo: diamVal is valid for a graph with diamArcs-1 arcs
+	// (0 = never computed). Guarded by diamMu so concurrent sessions sharing
+	// one built network (the serving layer does) pay the all-pairs BFS once.
+	diamMu   sync.Mutex
+	diamVal  int
+	diamArcs int
 }
 
 // New returns an empty digraph with n vertices.

@@ -70,6 +70,11 @@ func (m *Dense) check(i, j int) {
 	}
 }
 
+// Zero resets every entry to 0 in place, keeping the backing storage — the
+// cheap half of reusing one Dense across repeated refill-and-evaluate
+// passes (the compiled delay plan's local blocks do this per λ).
+func (m *Dense) Zero() { clear(m.data) }
+
 // Clone returns a deep copy of m.
 func (m *Dense) Clone() *Dense {
 	c := NewDense(m.rows, m.cols)
@@ -128,27 +133,45 @@ func (m *Dense) Mul(b *Dense) *Dense {
 
 // MulVec returns m·v.
 func (m *Dense) MulVec(v Vector) Vector {
+	return m.MulVecTo(make(Vector, m.rows), v)
+}
+
+// MulVecTo stores m·v into dst (len dst must be m.Rows()) and returns dst —
+// the allocation-free form of MulVec.
+func (m *Dense) MulVecTo(dst, v Vector) Vector {
 	if m.cols != len(v) {
 		panic(fmt.Sprintf("matrix: %dx%d times vector of length %d", m.rows, m.cols, len(v)))
 	}
-	out := make(Vector, m.rows)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("matrix: %dx%d MulVecTo into vector of length %d", m.rows, m.cols, len(dst)))
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, rv := range row {
 			s += rv * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // TransposeMulVec returns mᵀ·v without materializing the transpose.
 func (m *Dense) TransposeMulVec(v Vector) Vector {
+	return m.TransposeMulVecTo(make(Vector, m.cols), v)
+}
+
+// TransposeMulVecTo stores mᵀ·v into dst (len dst must be m.Cols(),
+// overwritten) and returns dst — the allocation-free form of
+// TransposeMulVec.
+func (m *Dense) TransposeMulVecTo(dst, v Vector) Vector {
 	if m.rows != len(v) {
 		panic(fmt.Sprintf("matrix: %dx%d transpose times vector of length %d", m.rows, m.cols, len(v)))
 	}
-	out := make(Vector, m.cols)
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("matrix: %dx%d TransposeMulVecTo into vector of length %d", m.rows, m.cols, len(dst)))
+	}
+	clear(dst)
 	for i := 0; i < m.rows; i++ {
 		vi := v[i]
 		if vi == 0 {
@@ -156,10 +179,10 @@ func (m *Dense) TransposeMulVec(v Vector) Vector {
 		}
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, rv := range row {
-			out[j] += rv * vi
+			dst[j] += rv * vi
 		}
 	}
-	return out
+	return dst
 }
 
 // Add returns m + b.

@@ -18,22 +18,65 @@ const (
 // with the default tolerance it is accurate to ≈1e-10 for the well-behaved
 // non-negative matrices used in this repository.
 func Norm2(m *Dense) float64 {
+	var s NormScratch
+	return m.Norm2Scratch(&s)
+}
+
+// Norm2Scratch computes ‖m‖₂ like Norm2 while drawing every power-iteration
+// vector from the scratch — repeated evaluations (the λ loops of the bound
+// root finders and the certification pipeline) perform zero steady-state
+// allocations. The result is bit-identical to Norm2.
+func (m *Dense) Norm2Scratch(s *NormScratch) float64 {
 	if m.Rows() == 0 || m.Cols() == 0 {
 		return 0
 	}
-	rho := gramSpectralRadius(m.MulVec, m.TransposeMulVec, m.Cols())
+	rho := gramSpectralRadiusScratch(m, m.Rows(), m.Cols(), s)
 	return math.Sqrt(rho)
 }
 
-// gramSpectralRadius runs power iteration on x ↦ Mᵀ(Mx) using only the two
-// matrix-vector products, so the same routine serves Dense and CSR matrices.
-func gramSpectralRadius(mul, tmul func(Vector) Vector, n int) float64 {
-	if n == 0 {
+// NormScratch holds the three power-iteration vectors of one norm
+// computation so callers evaluating many matrices (or one matrix at many λ)
+// can reuse them. The zero value is ready to use; buffers grow on demand and
+// are kept for the next call. A NormScratch is not safe for concurrent use —
+// give each goroutine its own.
+type NormScratch struct {
+	x, y, t Vector
+}
+
+// ensure sizes the buffers for a rows×cols operator and returns them.
+func (s *NormScratch) ensure(rows, cols int) (x, y, t Vector) {
+	s.x = growVec(s.x, cols)
+	s.y = growVec(s.y, cols)
+	s.t = growVec(s.t, rows)
+	return s.x, s.y, s.t
+}
+
+func growVec(v Vector, n int) Vector {
+	if cap(v) < n {
+		return make(Vector, n)
+	}
+	return v[:n]
+}
+
+// vecMulOps is the pair of matrix-vector products power iteration needs;
+// *Dense and *CSR both implement it, so one routine serves both without
+// allocating method-value closures.
+type vecMulOps interface {
+	MulVecTo(dst, v Vector) Vector
+	TransposeMulVecTo(dst, v Vector) Vector
+}
+
+// gramSpectralRadiusScratch runs power iteration on x ↦ Mᵀ(Mx) using only
+// the two matrix-vector products, drawing every vector from the scratch.
+// The arithmetic is identical to the historical allocating implementation,
+// so results are bit-for-bit unchanged.
+func gramSpectralRadiusScratch(m vecMulOps, rows, cols int, s *NormScratch) float64 {
+	if cols == 0 {
 		return 0
 	}
+	x, y, t := s.ensure(rows, cols)
 	// Deterministic, strictly positive start vector: guaranteed not to be
 	// orthogonal to the Perron vector of a non-negative operator.
-	x := make(Vector, n)
 	for i := range x {
 		x[i] = 1 + float64(i%7)/8
 	}
@@ -42,14 +85,15 @@ func gramSpectralRadius(mul, tmul func(Vector) Vector, n int) float64 {
 	}
 	var prev float64 = -1
 	for iter := 0; iter < defaultMaxIter; iter++ {
-		y := tmul(mul(x))
+		m.MulVecTo(t, x)
+		m.TransposeMulVecTo(y, t)
 		lambda := x.Dot(y) // Rayleigh quotient estimate of ρ(MᵀM)
 		ny := y.Norm2()
 		if ny == 0 {
 			return 0
 		}
 		y.Scale(1 / ny)
-		x = y
+		x, y = y, x
 		if prev >= 0 && math.Abs(lambda-prev) <= defaultTol*(1+math.Abs(lambda)) {
 			return lambda
 		}
@@ -136,9 +180,17 @@ func IsSemiEigenvector(m *Dense, x Vector, e, tol float64) bool {
 // of Section 2 this equals the norm of the block-diagonal matrix assembled
 // from the blocks.
 func BlockDiagNorm2(blocks []*Dense) float64 {
+	var s NormScratch
+	return BlockDiagNorm2Scratch(blocks, &s)
+}
+
+// BlockDiagNorm2Scratch is BlockDiagNorm2 with every block's power iteration
+// drawing from one reusable scratch; repeated evaluations over a fixed block
+// structure perform zero steady-state allocations.
+func BlockDiagNorm2Scratch(blocks []*Dense, s *NormScratch) float64 {
 	var max float64
 	for _, b := range blocks {
-		if n := Norm2(b); n > max {
+		if n := b.Norm2Scratch(s); n > max {
 			max = n
 		}
 	}

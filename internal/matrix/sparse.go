@@ -59,6 +59,44 @@ func NewCSR(rows, cols int, ts []Triplet) *CSR {
 	return m
 }
 
+// NewCSRFromParts assembles a rows×cols CSR matrix directly from its
+// compressed representation, without copying or sorting: rowPtr must be
+// monotone with rowPtr[0] == 0 and len(rowPtr) == rows+1, and colIdx/vals
+// must hold rowPtr[rows] entries with strictly increasing in-range column
+// indices within each row. Violations panic, matching NewCSR's discipline.
+//
+// The matrix aliases the given slices. That is the point: a caller holding a
+// fixed sparsity structure (the compiled delay plan evaluating M(λ) at many
+// λ) updates vals in place between evaluations instead of reassembling
+// triplets, so the λ loop performs zero steady-state allocations.
+func NewCSRFromParts(rows, cols int, rowPtr, colIdx []int, vals []float64) *CSR {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	if len(rowPtr) != rows+1 || rowPtr[0] != 0 {
+		panic(fmt.Sprintf("matrix: rowPtr of length %d (want %d) or nonzero origin", len(rowPtr), rows+1))
+	}
+	nnz := rowPtr[rows]
+	if len(colIdx) != nnz || len(vals) != nnz {
+		panic(fmt.Sprintf("matrix: %d colIdx / %d vals for %d entries", len(colIdx), len(vals), nnz))
+	}
+	for r := 0; r < rows; r++ {
+		lo, hi := rowPtr[r], rowPtr[r+1]
+		if lo > hi || hi > nnz {
+			panic(fmt.Sprintf("matrix: rowPtr not monotone at row %d", r))
+		}
+		for k := lo; k < hi; k++ {
+			if c := colIdx[k]; c < 0 || c >= cols {
+				panic(fmt.Sprintf("matrix: column %d out of range %d at row %d", c, cols, r))
+			}
+			if k > lo && colIdx[k] <= colIdx[k-1] {
+				panic(fmt.Sprintf("matrix: columns not strictly increasing in row %d", r))
+			}
+		}
+	}
+	return &CSR{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+}
+
 // Rows returns the number of rows.
 func (m *CSR) Rows() int { return m.rows }
 
@@ -83,45 +121,71 @@ func (m *CSR) At(i, j int) float64 {
 
 // MulVec returns m·v.
 func (m *CSR) MulVec(v Vector) Vector {
+	return m.MulVecTo(make(Vector, m.rows), v)
+}
+
+// MulVecTo stores m·v into dst (len dst must be m.Rows()) and returns dst —
+// the allocation-free form of MulVec.
+func (m *CSR) MulVecTo(dst, v Vector) Vector {
 	if len(v) != m.cols {
 		panic(fmt.Sprintf("matrix: %dx%d CSR times vector of length %d", m.rows, m.cols, len(v)))
 	}
-	out := make(Vector, m.rows)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("matrix: %dx%d CSR MulVecTo into vector of length %d", m.rows, m.cols, len(dst)))
+	}
 	for i := 0; i < m.rows; i++ {
 		var s float64
 		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
 			s += m.vals[k] * v[m.colIdx[k]]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // TransposeMulVec returns mᵀ·v.
 func (m *CSR) TransposeMulVec(v Vector) Vector {
+	return m.TransposeMulVecTo(make(Vector, m.cols), v)
+}
+
+// TransposeMulVecTo stores mᵀ·v into dst (len dst must be m.Cols(),
+// overwritten) and returns dst — the allocation-free form of
+// TransposeMulVec.
+func (m *CSR) TransposeMulVecTo(dst, v Vector) Vector {
 	if len(v) != m.rows {
 		panic(fmt.Sprintf("matrix: %dx%d CSR transpose times vector of length %d", m.rows, m.cols, len(v)))
 	}
-	out := make(Vector, m.cols)
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("matrix: %dx%d CSR TransposeMulVecTo into vector of length %d", m.rows, m.cols, len(dst)))
+	}
+	clear(dst)
 	for i := 0; i < m.rows; i++ {
 		vi := v[i]
 		if vi == 0 {
 			continue
 		}
 		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
-			out[m.colIdx[k]] += m.vals[k] * vi
+			dst[m.colIdx[k]] += m.vals[k] * vi
 		}
 	}
-	return out
+	return dst
 }
 
 // Norm2 returns ‖m‖₂ = √ρ(mᵀm) via power iteration using only sparse
 // matrix-vector products.
 func (m *CSR) Norm2() float64 {
+	var s NormScratch
+	return m.Norm2Scratch(&s)
+}
+
+// Norm2Scratch computes ‖m‖₂ like Norm2 while drawing every power-iteration
+// vector from the scratch; repeated evaluations (one structure re-weighted
+// per λ by the compiled delay plan) perform zero steady-state allocations.
+func (m *CSR) Norm2Scratch(s *NormScratch) float64 {
 	if m.rows == 0 || m.cols == 0 || m.NNZ() == 0 {
 		return 0
 	}
-	rho := gramSpectralRadius(m.MulVec, m.TransposeMulVec, m.cols)
+	rho := gramSpectralRadiusScratch(m, m.rows, m.cols, s)
 	if rho < 0 {
 		return 0
 	}

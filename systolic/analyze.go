@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/bounds"
-	"repro/internal/delay"
 	"repro/internal/gossip"
 )
 
@@ -58,46 +57,22 @@ func Analyze(ctx context.Context, net *Network, p *Protocol, opts ...Option) (*R
 
 // Analyze runs the session to completion — resuming from wherever it is,
 // restored rounds included — and builds the full report against the paper's
-// bounds. It errors on broadcast sessions (use AnalyzeBroadcast).
+// bounds. It errors on broadcast sessions (use AnalyzeBroadcast). Since the
+// certification refactor it is a view over Session.Certify: a
+// budget-truncated run, which Certify reports as an inapplicable
+// certificate, keeps surfacing here as ErrIncomplete.
 func (s *Session) Analyze(ctx context.Context) (*Report, error) {
 	if s.broadcast {
 		return nil, fmt.Errorf("systolic: analyze %s: broadcast sessions produce BroadcastReports", s.net.Name)
 	}
-	net, p := s.net, s.proto
-	res, err := s.Run(ctx)
+	cert, err := s.certifyGossip(ctx, "analyze", false)
 	if err != nil {
-		return nil, fmt.Errorf("systolic: analyze %s: %w", net.Name, err)
+		return nil, err
 	}
-	rep := &Report{
-		Network:  net.Name,
-		Mode:     p.Mode.String(),
-		Period:   p.Period,
-		Measured: res.Rounds,
+	if !cert.Complete {
+		return nil, fmt.Errorf("systolic: analyze %s: %w (budget %d)", s.net.Name, ErrIncomplete, s.budget)
 	}
-	reqPeriod := p.Period
-	if !p.Systolic() {
-		reqPeriod = NonSystolic
-	}
-	rep.LowerBound = Evaluate(net, Request{Mode: p.Mode, Period: reqPeriod})
-
-	dg, err := delay.Build(net.G, p, res.Rounds)
-	if err != nil {
-		return nil, fmt.Errorf("systolic: delay digraph: %w", err)
-	}
-	rep.DelayVerts = len(dg.Verts)
-	rep.DelayArcs = len(dg.Arcs)
-
-	lambda := rootFor(p)
-	if lambda > 0 {
-		rep.NormAtRoot = dg.Norm(lambda)
-		rep.NormCap = 1
-		rep.TheoremRespected = theorem41Holds(net.G.N(), res.Rounds, lambda)
-	} else {
-		// s=2: no norm root; the mode-specific s=2 bound is already folded
-		// into LowerBound.Rounds, so check the measurement against it.
-		rep.TheoremRespected = res.Rounds >= rep.LowerBound.Rounds
-	}
-	return rep, nil
+	return cert.Report(), nil
 }
 
 // rootFor returns the λ₀ at which the paper's norm cap for the protocol's

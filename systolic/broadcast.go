@@ -3,9 +3,7 @@ package systolic
 import (
 	"context"
 	"fmt"
-	"math"
 
-	"repro/internal/bounds"
 	"repro/internal/gossip"
 	"repro/internal/protocols"
 )
@@ -43,36 +41,27 @@ func AnalyzeBroadcast(ctx context.Context, net *Network, source int, opts ...Opt
 
 // AnalyzeBroadcast runs the broadcast session to completion (resuming from
 // wherever it is) and evaluates the broadcasting lower bound. It errors on
-// gossip sessions (use Analyze).
+// gossip sessions (use Analyze). Since the certification refactor it is a
+// view over Session.Certify: a budget-truncated run, which Certify reports
+// as an inapplicable certificate, keeps surfacing here as ErrIncomplete.
 func (s *Session) AnalyzeBroadcast(ctx context.Context) (*BroadcastReport, error) {
 	if !s.broadcast {
 		return nil, fmt.Errorf("systolic: broadcast on %s: gossip sessions produce Reports", s.net.Name)
 	}
-	net, source := s.net, s.source
-	res, err := s.Run(ctx)
+	cert, err := s.certifyBroadcast(ctx, "broadcast on")
 	if err != nil {
-		return nil, fmt.Errorf("systolic: broadcast on %s: %w", net.Name, err)
+		return nil, err
 	}
-	rep := &BroadcastReport{Network: net.Name, Source: source, Measured: res.Rounds}
-	d := net.DegreeParam
-	rep.C = bounds.BroadcastConstant(d)
-	lb := 0
-	if !math.IsInf(rep.C, 1) {
-		lb = int(math.Ceil(rep.C * net.LogN() * 0.999999))
-		// c(d)·log n is asymptotic; the unconditional finite-n facts are
-		// ⌈log₂ n⌉ and the source eccentricity. Use the weakest-safe floor:
-		// ⌈log₂ n⌉ (every round at most doubles the informed set).
-		if il := ceilLog2(net.G.N()); il < lb {
-			lb = il // keep only the certified part
-		}
-	} else {
-		lb = ceilLog2(net.G.N())
+	if !cert.Complete {
+		return nil, fmt.Errorf("systolic: broadcast on %s: %w (budget %d)", s.net.Name, ErrIncomplete, s.budget)
 	}
-	if ecc := net.G.Eccentricity(source); ecc > lb {
-		lb = ecc
-	}
-	rep.CBound = lb
-	return rep, nil
+	return &BroadcastReport{
+		Network:  cert.Network,
+		Source:   cert.Broadcast.Source,
+		Measured: cert.Measured,
+		CBound:   cert.Broadcast.CBound,
+		C:        cert.Broadcast.C,
+	}, nil
 }
 
 // String renders the report.

@@ -11,6 +11,7 @@ import (
 const (
 	OpAnalyze   = "analyze"
 	OpBroadcast = "broadcast"
+	OpCertify   = "certify"
 	OpSweep     = "sweep"
 )
 

@@ -38,16 +38,33 @@
 //     counts; NewBroadcastEngine runs broadcasts on a packed
 //     one-bit-per-vertex frontier backend.
 //
-//   - Option-based, context-aware one-shot wrappers. Simulate, Analyze and
-//     AnalyzeBroadcast are conveniences over a session run to completion:
-//     Analyze additionally builds the delay digraph of the executed prefix
-//     and checks the paper's inequalities. All honour context cancellation
-//     and the WithRoundBudget/WithTrace options:
+//   - A unified certification pipeline. Certify (and Session.Certify) runs
+//     a protocol and returns a typed Certificate: the measured rounds, the
+//     delay-digraph statistics of the executed prefix, ‖M(λ₀)‖ against its
+//     Lemma 4.3/6.1 cap, the evaluated lower bound, and the Theorem 4.1
+//     verdict — with budget-truncated runs reported as Complete=false and
+//     the verdicts marked inapplicable rather than vacuously true. The
+//     delay analysis mirrors the execution compiler: CompileDelayPlan (or
+//     Program.DelayPlan) lowers the per-round activation structure once
+//     into a DelayPlan whose per-round-count instances are memoized and
+//     whose M(λ) evaluations reuse preallocated CSR/scratch storage — zero
+//     steady-state allocations in the λ loop. Hand a shared plan to
+//     sessions with WithDelayPlan; paired with NewEngineFromProgram a
+//     repeated certification rebuilds nothing.
+//
+//     cert, err := systolic.Certify(ctx, net, p)
+//
+//     Simulate, Analyze and AnalyzeBroadcast remain as option-based,
+//     context-aware one-shot conveniences; Analyze and AnalyzeBroadcast
+//     are thin views over the certificate (a truncated run surfaces as
+//     ErrIncomplete there). All honour context cancellation and the
+//     WithRoundBudget/WithTrace options:
 //
 //     rep, err := systolic.Analyze(ctx, net, p, systolic.WithRoundBudget(100000))
 //
-//     The returned Report and Bound types are JSON-serializable and shared
-//     by the CLIs, the benchmarks and the golden tests.
+//     The returned Certificate, Report and Bound types are
+//     JSON-serializable and shared by the CLIs, the benchmarks and the
+//     golden tests.
 //
 //   - A parallel sweep engine. SweepStream fans a grid of (topology ×
 //     protocol) evaluations across a worker pool (GOMAXPROCS workers by

@@ -28,6 +28,7 @@ type config struct {
 	observer       Observer
 	workers        int
 	shardThreshold int
+	delayPlan      *DelayPlan
 }
 
 func newConfig(opts []Option) config {
@@ -74,3 +75,11 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // Results are byte-identical to serial either way; lower it only to force
 // sharding on small instances (tests do).
 func WithShardThreshold(n int) Option { return func(c *config) { c.shardThreshold = n } }
+
+// WithDelayPlan hands Certify a pre-compiled delay lowering
+// (CompileDelayPlan / Program.DelayPlan) so repeated certifications of the
+// same schedule never rebuild the delay digraph: the plan's memoized
+// instances and norm evaluations are shared across sessions. A plan whose
+// protocol fingerprint does not match the session's schedule is ignored
+// (the session compiles its own).
+func WithDelayPlan(dp *DelayPlan) Option { return func(c *config) { c.delayPlan = dp } }

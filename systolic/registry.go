@@ -69,6 +69,16 @@ func Register(name string, b Builder) {
 	registry[kind] = registered{kind: kind, b: b}
 }
 
+// unregister removes a kind from the registry. It exists for tests that
+// exercise Register itself: the registry is global, and a test-registered
+// kind left behind would leak into every Kinds()-driven differential
+// (go test -shuffle=on catches exactly that).
+func unregister(name string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	delete(registry, strings.ToLower(strings.TrimSpace(name)))
+}
+
 // Lookup returns the registered topology for a kind, or false.
 func Lookup(kind string) (Topology, bool) {
 	registryMu.RLock()

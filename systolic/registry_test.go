@@ -15,6 +15,7 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 		return Plain("star-test", topology.Star(n)), nil
 	}}
 	Register("star-test-dup", b)
+	t.Cleanup(func() { unregister("star-test-dup") })
 	defer func() {
 		if recover() == nil {
 			t.Fatal("second Register of the same kind did not panic")
@@ -42,6 +43,7 @@ func TestRegisterNilBuildPanics(t *testing.T) {
 }
 
 func TestRegisterThirdPartyTopology(t *testing.T) {
+	t.Cleanup(func() { unregister("star-test") })
 	Register("star-test", Builder{Params: []string{ParamNodes}, Build: func(p Params) (*Network, error) {
 		n, err := p.atLeast("star-test", ParamNodes, 2)
 		if err != nil {

@@ -1,0 +1,177 @@
+// Coverage for POST /v1/certify: the wire certificate against a direct
+// systolic.Certify call, result/plan cache behavior with its metrics, the
+// budget-truncation semantics (200 + inapplicable, not 422), and the
+// analyze/certify key separation.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/systolic"
+)
+
+type certifyEnvelope struct {
+	Key    string               `json:"key"`
+	Cached bool                 `json:"cached"`
+	Report systolic.Certificate `json:"report"`
+}
+
+func TestCertifyEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/certify", analyzeDB25)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("certify status = %d", resp.StatusCode)
+	}
+	env := decodeBody[certifyEnvelope](t, resp)
+	if !strings.HasPrefix(env.Key, systolic.OpCertify+"|") {
+		t.Errorf("certify key %q does not use the certify operation", env.Key)
+	}
+	if env.Cached {
+		t.Error("first certify reported cached")
+	}
+
+	// The wire certificate must equal a direct engine call.
+	net, err := systolic.New("debruijn", systolic.Degree(2), systolic.Diameter(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := systolic.NewProtocol("periodic-half", net, systolic.DefaultRoundBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := systolic.Certify(context.Background(), net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := env.Report
+	if got.Network != want.Network || got.Measured != want.Measured ||
+		got.DelayVerts != want.DelayVerts || got.DelayArcs != want.DelayArcs ||
+		got.NormAtRoot != want.NormAtRoot || got.TheoremRespected != want.TheoremRespected ||
+		!got.Complete || !got.TheoremApplicable {
+		t.Errorf("wire certificate %+v != direct %+v", got, want)
+	}
+
+	// Second request: result-cache hit, no new plan compile.
+	resp2 := postJSON(t, ts.Client(), ts.URL+"/v1/certify", analyzeDB25)
+	env2 := decodeBody[certifyEnvelope](t, resp2)
+	if !env2.Cached {
+		t.Error("second certify missed the result cache")
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.PlanMisses != 1 {
+		t.Errorf("delay-plan cache misses = %d, want exactly 1 compile", snap.PlanMisses)
+	}
+}
+
+// TestCertifyPlanCacheAcrossResults: certifications that miss the result
+// cache (distinct budgets were chosen large enough not to change the run)
+// still reuse the compiled program and delay plan when their program key
+// matches, and the hit/miss counters land on /metrics.
+func TestCertifyPlanCacheAcrossResults(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	n, err := normalizeCertify(analyzeDB25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.runCertifySession(context.Background(), n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.runCertifySession(context.Background(), n); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.PlanMisses != 1 || snap.PlanHits != 1 {
+		t.Errorf("delay-plan cache misses=%d hits=%d, want 1/1", snap.PlanMisses, snap.PlanHits)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<16)
+	k, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	text := string(body[:k])
+	for _, want := range []string{
+		"gossipd_delay_plan_cache_hits_total 1",
+		"gossipd_delay_plan_cache_misses_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	health, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decodeBody[map[string]any](t, health)
+	if entries, ok := h["plan_entries"].(float64); !ok || entries != 1 {
+		t.Errorf("healthz plan_entries = %v, want 1", h["plan_entries"])
+	}
+}
+
+// TestCertifyBudgetTruncatedWire: a budget-truncated certification is a 200
+// with an inapplicable certificate — unlike /v1/analyze, which keeps
+// answering 422.
+func TestCertifyBudgetTruncatedWire(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := analyzeDB25
+	req.Budget = 2 // far below the DB(2,5) completion time
+
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/certify", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("truncated certify status = %d, want 200", resp.StatusCode)
+	}
+	env := decodeBody[certifyEnvelope](t, resp)
+	cert := env.Report
+	if cert.Complete || cert.TheoremApplicable || cert.TheoremRespected {
+		t.Errorf("truncated certificate: complete=%v applicable=%v respected=%v, want all false",
+			cert.Complete, cert.TheoremApplicable, cert.TheoremRespected)
+	}
+	if cert.Measured != 2 || cert.DelayVerts == 0 {
+		t.Errorf("truncated certificate measured=%d delay_verts=%d, want the executed prefix",
+			cert.Measured, cert.DelayVerts)
+	}
+
+	aresp := postJSON(t, ts.Client(), ts.URL+"/v1/analyze", req)
+	defer aresp.Body.Close()
+	if aresp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("truncated analyze status = %d, want 422", aresp.StatusCode)
+	}
+}
+
+// TestCertifyAndAnalyzeKeysDisjoint: the two operations share inputs but
+// must never share cached results.
+func TestCertifyAndAnalyzeKeysDisjoint(t *testing.T) {
+	na, err := normalizeAnalyze(analyzeDB25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := normalizeCertify(analyzeDB25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.key == nc.key {
+		t.Error("analyze and certify share a result-cache key")
+	}
+	if na.progKey != nc.progKey {
+		t.Error("analyze and certify should share the program key (and its caches)")
+	}
+}
+
+// TestCertifyBadRequest: validation failures stay 400 on the new endpoint.
+func TestCertifyBadRequest(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := analyzeDB25
+	req.Protocol = ""
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/certify", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("protocol-less certify status = %d, want 400", resp.StatusCode)
+	}
+}

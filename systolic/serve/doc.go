@@ -46,6 +46,37 @@
 // finishes with status "incomplete", so the run can be resumed offline with
 // a higher budget.
 //
+// POST /v1/certify — run the certification pipeline on one protocol and
+// topology (the same request shape as /v1/analyze):
+//
+//	{"kind": "hypercube", "params": {"dimension": 12},
+//	 "protocol": "hypercube", "budget": 100000}
+//
+// responds with an envelope around the systolic.Certificate JSON schema —
+// the measured rounds plus every applicable verdict of the paper's
+// lower-bound machinery:
+//
+//	{"key": "certify|hypercube|dimension=12|hypercube|100000|-1",
+//	 "cached": false,
+//	 "report": {"network": "hypercube-12", "mode": "full-duplex",
+//	  "period": 12, "complete": true, "measured_rounds": 12,
+//	  "budget": 100000, "lower_bound": {...}, "delay_verts": 49152,
+//	  "delay_arcs": 540672, "lambda": 0.5790, "norm_at_root": 0.9999,
+//	  "norm_cap": 1, "norm_checked": true, "norm_respected": true,
+//	  "theorem_applicable": true, "theorem_respected": true}}
+//
+// A budget-truncated run is NOT an error here (unlike /v1/analyze's 422):
+// the certificate comes back 200 with "complete": false, the delay digraph
+// of the executed prefix, and the theorem verdicts marked inapplicable.
+// Certifications ride the same program cache as analyses and additionally a
+// delay-plan cache (Config.DelayPlanCacheSize, keyed like programs) holding
+// each schedule's compiled delay lowering, so a repeated certification
+// rebuilds neither the execution schedule nor the delay digraph; the
+// gossipd_delay_plan_cache_hits_total / _misses_total counters on /metrics
+// (and the plan_entries gauge on /healthz) expose the cache.
+// ?async=true submits a job like /v1/analyze (without checkpointing —
+// truncation is a result, not a failure).
+//
 // POST /v1/broadcast — measure the BFS-tree broadcast time:
 //
 //	{"kind": "hypercube", "params": {"dimension": 6}, "source": 0}
@@ -94,12 +125,12 @@
 //
 // GET /healthz — liveness plus load: {"status": "ok" | "draining",
 // "uptime_seconds", "inflight", "queued", "cache_entries",
-// "program_entries"}.
+// "program_entries", "plan_entries"}.
 //
 // GET /metrics — Prometheus text format: requests by endpoint, cache
-// hits/misses and hit ratio, program-cache hits/misses, dedup shares,
-// simulations run, rounds simulated, queue rejections, in-flight sessions,
-// queue depth.
+// hits/misses and hit ratio, program-cache hits/misses, delay-plan-cache
+// hits/misses, dedup shares, simulations run, rounds simulated, queue
+// rejections, in-flight sessions, queue depth.
 //
 // # Errors
 //

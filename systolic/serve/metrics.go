@@ -20,6 +20,8 @@ type Metrics struct {
 	cacheMisses   atomic.Int64
 	programHits   atomic.Int64 // analyses that reused a cached compiled program
 	programMisses atomic.Int64 // analyses that had to build+validate+compile
+	planHits      atomic.Int64 // certifications that reused a cached delay plan
+	planMisses    atomic.Int64 // certifications that compiled their delay lowering
 	dedupShared   atomic.Int64 // requests attached to an already-running flight
 	simulations   atomic.Int64 // underlying simulations actually run
 	rounds        atomic.Int64 // simulated rounds, via the trace observer
@@ -51,6 +53,8 @@ type Snapshot struct {
 	CacheMisses   int64            `json:"cache_misses"`
 	ProgramHits   int64            `json:"program_cache_hits"`
 	ProgramMisses int64            `json:"program_cache_misses"`
+	PlanHits      int64            `json:"delay_plan_cache_hits"`
+	PlanMisses    int64            `json:"delay_plan_cache_misses"`
 	DedupShared   int64            `json:"dedup_shared"`
 	Simulations   int64            `json:"simulations"`
 	Rounds        int64            `json:"rounds_simulated"`
@@ -79,6 +83,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheMisses:   m.cacheMisses.Load(),
 		ProgramHits:   m.programHits.Load(),
 		ProgramMisses: m.programMisses.Load(),
+		PlanHits:      m.planHits.Load(),
+		PlanMisses:    m.planMisses.Load(),
 		DedupShared:   m.dedupShared.Load(),
 		Simulations:   m.simulations.Load(),
 		Rounds:        m.rounds.Load(),
@@ -119,6 +125,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("gossipd_cache_misses_total", "Requests that missed the result cache.", s.CacheMisses)
 	counter("gossipd_program_cache_hits_total", "Analyses that reused a cached compiled program.", s.ProgramHits)
 	counter("gossipd_program_cache_misses_total", "Analyses that built, validated and compiled their schedule.", s.ProgramMisses)
+	counter("gossipd_delay_plan_cache_hits_total", "Certifications that reused a cached compiled delay plan.", s.PlanHits)
+	counter("gossipd_delay_plan_cache_misses_total", "Certifications that compiled their delay lowering.", s.PlanMisses)
 	counter("gossipd_dedup_shared_total", "Requests coalesced onto an already-running identical computation.", s.DedupShared)
 	counter("gossipd_simulations_total", "Underlying simulations actually run.", s.Simulations)
 	counter("gossipd_rounds_simulated_total", "Communication rounds simulated across all sessions.", s.Rounds)

@@ -142,6 +142,19 @@ func normalizeAnalyze(req AnalyzeRequest) (normalized, error) {
 	return n, nil
 }
 
+// normalizeCertify validates a certify request and computes its cache keys.
+// The inputs are exactly an analyze's; only the result-cache operation
+// differs (a Certificate is not a Report). progKey is shared with analyze,
+// so certifications reuse programs (and delay plans ride the same key).
+func normalizeCertify(req AnalyzeRequest) (normalized, error) {
+	n, err := normalizeAnalyze(req)
+	if err != nil {
+		return normalized{}, err
+	}
+	n.key = systolic.RequestKey(systolic.OpCertify, n.kind, n.params, n.protocol, n.budget, n.source)
+	return n, nil
+}
+
 // opBroadcastAll keys all-sources broadcast scans apart from single-source
 // broadcasts in the result cache.
 const opBroadcastAll = "broadcast-all"

@@ -30,6 +30,10 @@ type Config struct {
 	// entries): built networks plus their compiled schedules, kept across
 	// requests so a result-cache miss skips build+validate+compile.
 	ProgramCacheSize int
+	// DelayPlanCacheSize bounds the compiled delay-plan cache (default 256
+	// entries): the certification-side artifact cached alongside each
+	// program, so a repeated /v1/certify never rebuilds the delay digraph.
+	DelayPlanCacheSize int
 	// SpoolDir persists async job results (and the checkpoints of
 	// budget-incomplete analyze jobs) as JSON files; empty keeps jobs in
 	// memory only.
@@ -55,6 +59,9 @@ func (c Config) withDefaults() Config {
 	if c.ProgramCacheSize <= 0 {
 		c.ProgramCacheSize = 256
 	}
+	if c.DelayPlanCacheSize <= 0 {
+		c.DelayPlanCacheSize = 256
+	}
 	if c.MaxSweepJobs <= 0 {
 		c.MaxSweepJobs = 256
 	}
@@ -76,6 +83,7 @@ type Server struct {
 	cfg      Config
 	cache    *resultCache
 	programs *resultCache // compiled *systolic.Program by program key
+	plans    *resultCache // compiled *systolic.DelayPlan by program key
 	flights  group
 	jobs     *jobStore
 	metrics  *Metrics
@@ -107,6 +115,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		cache:    newResultCache(cfg.CacheSize),
 		programs: newResultCache(cfg.ProgramCacheSize),
+		plans:    newResultCache(cfg.DelayPlanCacheSize),
 		jobs:     jobs,
 		metrics:  newMetrics(),
 		sem:      make(chan struct{}, cfg.Workers),
@@ -118,6 +127,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/kinds", s.handleKinds)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/certify", s.handleCertify)
 	mux.HandleFunc("POST /v1/broadcast", s.handleBroadcast)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -315,6 +325,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queued":          s.metrics.queued.Load(),
 		"cache_entries":   s.cache.len(),
 		"program_entries": s.programs.len(),
+		"plan_entries":    s.plans.len(),
 	})
 }
 
@@ -435,6 +446,76 @@ func (s *Server) runAnalyzeSession(ctx context.Context, n normalized, jobID stri
 		return nil, err
 	}
 	return rep, nil
+}
+
+func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("certify")
+	var req AnalyzeRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	n, err := normalizeCertify(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if r.URL.Query().Get("async") == "true" {
+		s.submitAsync(w, systolic.OpCertify, n.key, func(ctx context.Context, jobID string) (any, error) {
+			items, err := s.sharedItems(ctx, n.key, 1, s.valueCompute(n.key, func(ctx context.Context) (any, error) {
+				return s.runCertifySession(ctx, n)
+			}))
+			if err != nil {
+				return nil, err
+			}
+			return items[0], nil
+		})
+		return
+	}
+	s.serveValue(w, r, n.key, func(ctx context.Context) (any, error) {
+		return s.runCertifySession(ctx, n)
+	})
+}
+
+// cachedDelayPlan resolves the compiled delay lowering for a request
+// through the plan cache, compiling it from the (already cached) program on
+// a miss. Plans are keyed like programs — same topology, protocol and
+// budget — so the two caches hold matching entries and a warm schedule
+// serves certifications with zero rebuild work.
+func (s *Server) cachedDelayPlan(n normalized, pr *systolic.Program) (*systolic.DelayPlan, error) {
+	if v, ok := s.plans.get(n.progKey); ok {
+		s.metrics.planHits.Add(1)
+		return v.(*systolic.DelayPlan), nil
+	}
+	s.metrics.planMisses.Add(1)
+	dp, err := pr.DelayPlan()
+	if err != nil {
+		return nil, err
+	}
+	s.plans.add(n.progKey, dp)
+	return dp, nil
+}
+
+// runCertifySession drives one certification: cached compiled program,
+// cached delay plan, fresh session. A budget-truncated run is a valid
+// certificate (Complete false, verdicts inapplicable), not an error, so it
+// caches like any other result.
+func (s *Server) runCertifySession(ctx context.Context, n normalized) (any, error) {
+	pr, err := s.compiledProgram(n)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := s.cachedDelayPlan(n, pr)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := systolic.NewEngineFromProgram(pr,
+		systolic.WithRoundBudget(n.budget), systolic.WithDelayPlan(dp), s.roundsObserver())
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	return sess.Certify(ctx)
 }
 
 func writeCheckpointFile(path string, sess *systolic.Session) error {
