@@ -15,9 +15,10 @@ import (
 )
 
 // loadtestMix is the request workload: a rotation of small, fast analyses
-// and certifications plus a broadcast, so a run exercises cold simulations,
-// the certification pipeline (program + delay-plan caches) and (heavily)
-// the result cache/dedup path. Bodies are pre-marshaled JSON.
+// and certifications, two Monte-Carlo scenario certifications, and a
+// broadcast, so a run exercises cold simulations, the certification
+// pipeline (program + delay-plan caches), the scenario trial fan-out and
+// (heavily) the result cache/dedup path. Bodies are pre-marshaled JSON.
 var loadtestMix = []struct {
 	path string
 	body string
@@ -32,6 +33,8 @@ var loadtestMix = []struct {
 	{"/v1/analyze", `{"kind":"hypercube","params":{"dimension":5},"protocol":"hypercube"}`},
 	{"/v1/certify", `{"kind":"hypercube","params":{"dimension":5},"protocol":"hypercube"}`},
 	{"/v1/analyze", `{"kind":"complete","params":{"nodes":16},"protocol":"doubling"}`},
+	{"/v1/certify", `{"kind":"debruijn","params":{"degree":2,"diameter":4},"protocol":"periodic-half","scenario":{"loss":0.05,"seed":1,"trials":16}}`},
+	{"/v1/certify", `{"kind":"hypercube","params":{"dimension":5},"protocol":"hypercube","scenario":{"loss":0.1,"seed":2,"crashes":[{"node":1,"from":0,"to":4}],"trials":16}}`},
 	{"/v1/broadcast", `{"kind":"hypercube","params":{"dimension":5},"source":0}`},
 	{"/v1/sweep", `{"jobs":[{"kind":"debruijn","params":{"degree":2,"diameter":4},"protocol":"periodic-half"},{"kind":"kautz","params":{"degree":2,"diameter":3},"protocol":"periodic-full"}]}`},
 }
@@ -123,6 +126,9 @@ func runLoadtest(cfg serve.Config, base string, duration time.Duration, concurre
 			snap.ProgramMisses, snap.ProgramHits)
 		fmt.Fprintf(os.Stdout, "delay plans: %d compiled, %d reused from the plan cache\n",
 			snap.PlanMisses, snap.PlanHits)
+		fmt.Fprintf(os.Stdout, "scenarios: %d Monte-Carlo trials (%d truncated), %.0f trials/s\n",
+			snap.ScenarioTrials, snap.ScenarioTruncated,
+			float64(snap.ScenarioTrials)/duration.Seconds())
 	}
 	if float64(errors) > 0.01*float64(total) {
 		return fmt.Errorf("loadtest: %d/%d requests failed", errors, total)

@@ -24,11 +24,27 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
 	"repro/systolic/serve"
 )
+
+// version is stamped at build time with
+// -ldflags "-X main.version=v1.2.3"; unset, the module build info (or
+// "dev") stands in. /healthz reports it.
+var version string
+
+func buildVersion() string {
+	if version != "" {
+		return version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -52,6 +68,7 @@ func main() {
 		ProgramCacheSize:   *programCache,
 		DelayPlanCacheSize: *planCache,
 		SpoolDir:           *spool,
+		Version:            buildVersion(),
 	}
 	if *loadtest {
 		if err := runLoadtest(cfg, *target, *duration, *concurrency); err != nil {

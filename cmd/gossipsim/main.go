@@ -20,6 +20,17 @@
 // ({"round":…,"knowledge":…,"target":…}), the machine-readable twin of
 // -trace; the human-readable report moves to stderr so stdout stays pure
 // JSON lines.
+//
+// Scenario mode runs the protocol under a deterministic fault model instead
+// of the fault-free analysis: -loss P injects uniform per-arc message loss,
+// -crash "node@from-to,…" takes nodes down for half-open round windows,
+// -delete "from>to,…" removes arcs for the whole run, -seed roots the PRNG
+// (same seed, same distribution), and -trials sets the Monte-Carlo trial
+// count. Any of them switches the run to systolic.CertifyScenario and
+// prints the statistical certificate:
+//
+//	gossipsim -topology hypercube -dimension 10 -protocol periodic-full \
+//	  -loss 0.05 -seed 1 -trials 256
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/systolic"
@@ -51,6 +63,11 @@ func main() {
 	progress := flag.Bool("progress", false, "stream per-round progress as JSON lines on stdout")
 	checkpoint := flag.String("checkpoint", "", "write a session checkpoint to this file when the run stops")
 	resume := flag.String("resume", "", "restore the session from this checkpoint file before running")
+	loss := flag.Float64("loss", 0, "scenario: per-arc per-round message loss probability in [0,1]")
+	crash := flag.String("crash", "", "scenario: crash windows, comma-separated node@from-to (rounds, half-open)")
+	deleteArcs := flag.String("delete", "", "scenario: deleted arcs, comma-separated from>to")
+	seed := flag.Uint64("seed", 0, "scenario: PRNG seed (part of the distribution's identity)")
+	trials := flag.Int("trials", 0, "scenario: Monte-Carlo trial count (any scenario flag implies 64)")
 	flag.Parse()
 
 	// Map the named flags onto the parameters the chosen kind requires.
@@ -118,6 +135,14 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatalf("saving: %v", err)
 		}
+	}
+
+	if *loss != 0 || *crash != "" || *deleteArcs != "" || *seed != 0 || *trials != 0 {
+		if *resume != "" || *checkpoint != "" || *progress {
+			fatalf("scenario mode (-loss/-crash/-delete/-seed/-trials) is a batch Monte-Carlo run; it does not combine with -resume, -checkpoint or -progress")
+		}
+		runScenario(net, p, *proto, *loss, *crash, *deleteArcs, *seed, *trials, *budget)
+		return
 	}
 
 	opts := []systolic.Option{systolic.WithRoundBudget(*budget)}
@@ -199,6 +224,89 @@ func main() {
 	fmt.Fprintf(human, "delay DG:   %d activations, %d delay arcs, ‖M(λ₀)‖ = %.4f\n",
 		rep.DelayVerts, rep.DelayArcs, rep.NormAtRoot)
 	fmt.Fprintf(human, "Theorem 4.1 respected: %v\n", rep.TheoremRespected)
+}
+
+// runScenario drives the Monte-Carlo scenario certification and prints the
+// statistical certificate.
+func runScenario(net *systolic.Network, p *systolic.Protocol, proto string, loss float64, crash, deleteArcs string, seed uint64, trials, budget int) {
+	sc := &systolic.Scenario{Loss: loss, Seed: seed}
+	var err error
+	if sc.Crashes, err = parseCrashSpec(crash); err != nil {
+		fatalf("%v", err)
+	}
+	if sc.DeleteArcs, err = parseArcSpec(deleteArcs); err != nil {
+		fatalf("%v", err)
+	}
+	if trials == 0 {
+		trials = 64
+	}
+	cert, err := systolic.CertifyScenario(context.Background(), net, p, sc, trials,
+		systolic.WithRoundBudget(budget))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	st := cert.Trials
+	fmt.Printf("network:    %s (n=%d, arcs=%d)\n", net.Name, net.G.N(), net.G.M())
+	fmt.Printf("protocol:   %s (%v mode, period %d)\n", proto, p.Mode, p.Period)
+	fmt.Printf("scenario:   %s\n", cert.Scenario.Canonical())
+	fmt.Printf("trials:     %d (%d completed, %d truncated at budget %d)\n",
+		st.Trials, st.Completed, st.Truncated, cert.Budget)
+	fmt.Printf("rounds:     p50/p90/p99 = %d/%d/%d, mean %.2f, min %d, max %d\n",
+		st.P50, st.P90, st.P99, st.MeanRounds, st.MinRounds, st.MaxRounds)
+	fmt.Printf("lowerbound: %v respected by median: %v\n", cert.LowerBound, cert.BoundRespected)
+	if cert.Deterministic != nil {
+		fmt.Printf("drift:      %+.2f rounds over the fault-free run (%d)\n",
+			cert.MeanDriftRounds, cert.Deterministic.Measured)
+	}
+	fmt.Printf("replay:     -seed %d reproduces distribution %s\n", cert.Scenario.Seed, st.DistributionFP)
+}
+
+// parseCrashSpec parses "node@from-to,node@from-to,…" (empty spec → nil).
+func parseCrashSpec(spec string) ([]systolic.CrashWindow, error) {
+	var out []systolic.CrashWindow
+	for _, part := range splitSpec(spec) {
+		nodeStr, window, ok := strings.Cut(part, "@")
+		fromStr, toStr, ok2 := strings.Cut(window, "-")
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("crash window %q: want node@from-to", part)
+		}
+		node, err1 := strconv.Atoi(nodeStr)
+		from, err2 := strconv.Atoi(fromStr)
+		to, err3 := strconv.Atoi(toStr)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("crash window %q: want node@from-to", part)
+		}
+		out = append(out, systolic.CrashWindow{Node: node, From: from, To: to})
+	}
+	return out, nil
+}
+
+// parseArcSpec parses "from>to,from>to,…" (empty spec → nil).
+func parseArcSpec(spec string) ([][2]int, error) {
+	var out [][2]int
+	for _, part := range splitSpec(spec) {
+		fromStr, toStr, ok := strings.Cut(part, ">")
+		if !ok {
+			return nil, fmt.Errorf("deleted arc %q: want from>to", part)
+		}
+		from, err1 := strconv.Atoi(fromStr)
+		to, err2 := strconv.Atoi(toStr)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("deleted arc %q: want from>to", part)
+		}
+		out = append(out, [2]int{from, to})
+	}
+	return out, nil
+}
+
+func splitSpec(spec string) []string {
+	var parts []string
+	for _, part := range strings.Split(spec, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			parts = append(parts, part)
+		}
+	}
+	return parts
 }
 
 func writeCheckpoint(sess *systolic.Session, path string) {

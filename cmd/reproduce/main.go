@@ -77,6 +77,9 @@ func main() {
 	fmt.Println("\n== Upper vs lower (certified protocols) ==")
 	sweep()
 
+	fmt.Println("\n== Monte-Carlo scenarios (lossy / churning executions) ==")
+	scenarios()
+
 	if failed {
 		fmt.Println("\nREPRODUCTION: MISMATCHES FOUND")
 		os.Exit(1)
@@ -177,6 +180,57 @@ func sweep() {
 			printCertRow(jobs[next].Label, rows[next].cert, rows[next].n, rows[next].err)
 			next++
 		}
+	}
+}
+
+// scenarios stresses the certified protocols under faults: the paper's
+// bounds are proved for fault-free executions, so every lossy or churning
+// run must finish at or above the deterministic lower bound — a median
+// below it would witness a broken simulator. Each row is a Monte-Carlo
+// scenario certification (fixed seed, so the table is reproducible).
+func scenarios() {
+	rows := []struct {
+		label    string
+		kind     string
+		params   []systolic.Param
+		protocol string
+		sc       systolic.Scenario
+	}{
+		{"5% uniform loss", "debruijn",
+			[]systolic.Param{systolic.Degree(2), systolic.Diameter(5)},
+			"periodic-half", systolic.Scenario{Loss: 0.05, Seed: 1}},
+		{"10% loss + crash", "hypercube",
+			[]systolic.Param{systolic.Dimension(6)},
+			"hypercube", systolic.Scenario{Loss: 0.10, Seed: 2,
+				Crashes: []systolic.CrashWindow{{Node: 1, From: 0, To: 6}}}},
+		{"adversarial arc cut", "kautz",
+			[]systolic.Param{systolic.Degree(2), systolic.Diameter(4)},
+			"periodic-full", systolic.Scenario{Seed: 3,
+				DeleteArcs: [][2]int{{0, 1}}}},
+	}
+	for _, row := range rows {
+		net, err := systolic.New(row.kind, row.params...)
+		if err == nil {
+			var p *systolic.Protocol
+			if p, err = systolic.NewProtocol(row.protocol, net, 0); err == nil {
+				var cert *systolic.StatisticalCertificate
+				cert, err = systolic.CertifyScenario(context.Background(), net, p, &row.sc, 64,
+					systolic.WithRoundBudget(200000))
+				if err == nil {
+					ok := "ok"
+					if !cert.BoundRespected || cert.Trials.Completed != cert.Trials.Trials {
+						ok = "VIOLATION"
+						failed = true
+					}
+					fmt.Printf("  %-10s %-20s trials %3d  p50 %3d >= bound %3d  drift %+6.2f  %s\n",
+						cert.Network, row.label, cert.Trials.Trials,
+						cert.Trials.P50, cert.LowerBound.Rounds, cert.MeanDriftRounds, ok)
+					continue
+				}
+			}
+		}
+		fmt.Printf("  %s: %v\n", row.label, err)
+		failed = true
 	}
 }
 

@@ -23,6 +23,7 @@ func TestSmokeFullReproduction(t *testing.T) {
 	for _, want := range []string{
 		"Fig. 4", "Fig. 5", "Fig. 6", "Fig. 8",
 		"separator verified",
+		"Monte-Carlo scenarios",
 		"REPRODUCTION: all checks passed",
 	} {
 		if !strings.Contains(string(out), want) {

@@ -81,6 +81,30 @@ func NewBroadcastState(n, source int) *State {
 // reverts to serial stepping. Results are identical either way.
 func (s *State) UsePool(p *Pool) { s.pool = p }
 
+// Reset returns a gossip state (one built by NewState) to its initial
+// "every processor knows exactly its own item" configuration without
+// reallocating — the shadow buffer need not be cleared because Step and
+// StepProgram always write a sender's snapshot before reading it. Loops
+// that run many simulations of one shape (the Monte-Carlo scenario trials)
+// reuse one State through Reset instead of paying two n×words allocations
+// per run. It panics on broadcast-shaped states (items != n), whose initial
+// configuration depends on a source.
+func (s *State) Reset() {
+	if s.items != s.n {
+		panic("gossip: Reset on a broadcast-shaped state")
+	}
+	clear(s.cur)
+	s.know, s.full = 0, 0
+	for v := 0; v < s.n; v++ {
+		s.cur[v*s.words+v/64] |= 1 << (v % 64)
+		s.counts[v] = 1
+		s.know++
+		if s.items == 1 {
+			s.full++
+		}
+	}
+}
+
 // Knows reports whether processor v currently knows item i.
 func (s *State) Knows(v, i int) bool {
 	return s.cur[v*s.words+i/64]&(1<<(i%64)) != 0

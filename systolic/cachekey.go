@@ -9,10 +9,11 @@ import (
 // results keys them by operation so an analyze and a broadcast over the same
 // topology never collide.
 const (
-	OpAnalyze   = "analyze"
-	OpBroadcast = "broadcast"
-	OpCertify   = "certify"
-	OpSweep     = "sweep"
+	OpAnalyze         = "analyze"
+	OpBroadcast       = "broadcast"
+	OpCertify         = "certify"
+	OpCertifyScenario = "certify-scenario"
+	OpSweep           = "sweep"
 )
 
 // NoSource is the source placeholder RequestKey uses for operations that
@@ -36,6 +37,21 @@ func RequestKey(op, kind string, params Params, protocol string, budget, source 
 		budget,
 		source,
 	)
+}
+
+// ScenarioKey extends a RequestKey with the fault model and trial count of
+// a Monte-Carlo scenario certification. The scenario's Canonical form
+// includes the seed, so two requests differing only in seed cache
+// separately; and because plain RequestKeys never contain a "|scenario{"
+// segment, a scenario key can never collide with a non-scenario one.
+func ScenarioKey(base string, sc *Scenario, trials int) string {
+	var canon string
+	if sc != nil {
+		canon = sc.Canonical()
+	} else {
+		canon = (&Scenario{}).Canonical()
+	}
+	return fmt.Sprintf("%s|scenario{%s}|trials=%d", base, canon, trials)
 }
 
 // SweepKey canonicalizes a whole sweep grid by chaining per-job RequestKeys

@@ -32,6 +32,66 @@ func TestRequestKeyCanonical(t *testing.T) {
 	}
 }
 
+// TestScenarioKeyDisjoint: scenario keys can never collide with plain
+// request keys (no RequestKey contains a "|scenario{" segment), and every
+// scenario field — seed and trial count included — separates keys.
+func TestScenarioKeyDisjoint(t *testing.T) {
+	base := RequestKey(OpCertifyScenario, "hypercube", MakeParams(Dimension(10)), "periodic-full", 1000, NoSource)
+	sc := &Scenario{Loss: 0.05, Seed: 1}
+	distinct := []string{
+		base,
+		RequestKey(OpCertify, "hypercube", MakeParams(Dimension(10)), "periodic-full", 1000, NoSource),
+		ScenarioKey(base, sc, 256),
+		ScenarioKey(base, sc, 128),
+		ScenarioKey(base, &Scenario{Loss: 0.05, Seed: 2}, 256),
+		ScenarioKey(base, &Scenario{Loss: 0.1, Seed: 1}, 256),
+		ScenarioKey(base, &Scenario{Loss: 0.05, Seed: 1, Crashes: []CrashWindow{{Node: 3, From: 0, To: 4}}}, 256),
+		ScenarioKey(base, &Scenario{Loss: 0.05, Seed: 1, DeleteArcs: [][2]int{{0, 1}}}, 256),
+		ScenarioKey(base, &Scenario{Loss: 0.05, Seed: 1, ArcLoss: []ArcLoss{{From: 0, To: 1, Loss: 0.5}}}, 256),
+		ScenarioKey(base, nil, 256),
+	}
+	seen := map[string]int{}
+	for i, k := range distinct {
+		if j, dup := seen[k]; dup {
+			t.Errorf("scenario requests %d and %d collide on key %s", j, i, k)
+		}
+		seen[k] = i
+	}
+	if ScenarioKey(base, nil, 64) != ScenarioKey(base, &Scenario{}, 64) {
+		t.Error("nil and zero scenarios should share a key (both inactive)")
+	}
+}
+
+// TestScenarioCanonicalGolden pins the canonical scenario fragment and the
+// assembled scenario key byte for byte: cache identities are a wire
+// contract — persisted spools and cross-version clients depend on them —
+// so any change here must be deliberate.
+func TestScenarioCanonicalGolden(t *testing.T) {
+	sc := &Scenario{
+		Loss:       0.05,
+		ArcLoss:    []ArcLoss{{From: 1, To: 2, Loss: 0.25}},
+		Crashes:    []CrashWindow{{Node: 3, From: 4, To: 9}},
+		DeleteArcs: [][2]int{{5, 6}},
+		Seed:       42,
+	}
+	const wantCanon = "loss=0.05;arcloss=1>2:0.25;crash=3@4-9;del=5>6;seed=42"
+	if got := sc.Canonical(); got != wantCanon {
+		t.Fatalf("Canonical() = %q, want %q", got, wantCanon)
+	}
+	base := RequestKey(OpCertifyScenario, "hypercube", MakeParams(Dimension(10)), "periodic-full", 1000, NoSource)
+	const wantBase = "certify-scenario|hypercube|dimension=10|periodic-full|1000|-1"
+	if base != wantBase {
+		t.Fatalf("RequestKey = %q, want %q", base, wantBase)
+	}
+	const wantKey = wantBase + "|scenario{" + wantCanon + "}|trials=256"
+	if got := ScenarioKey(base, sc, 256); got != wantKey {
+		t.Fatalf("ScenarioKey = %q, want %q", got, wantKey)
+	}
+	if got := (&Scenario{}).Canonical(); got != "loss=0;seed=0" {
+		t.Fatalf("zero Canonical() = %q, want %q", got, "loss=0;seed=0")
+	}
+}
+
 // TestSweepKeyOrderSensitive: a sweep's identity depends on job order
 // (results stream in grid order).
 func TestSweepKeyOrderSensitive(t *testing.T) {

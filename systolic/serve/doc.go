@@ -77,6 +77,51 @@
 // ?async=true submits a job like /v1/analyze (without checkpointing —
 // truncation is a result, not a failure).
 //
+// A "scenario" block turns the certification into a Monte-Carlo run of the
+// same compiled schedule under a deterministic fault model:
+//
+//	{"kind": "hypercube", "params": {"dimension": 10},
+//	 "protocol": "periodic-full",
+//	 "scenario": {"loss": 0.05, "seed": 1, "trials": 256,
+//	  "arc_loss": [{"from": 1, "to": 2, "loss": 0.25}],
+//	  "crashes": [{"node": 3, "from": 4, "to": 9}],
+//	  "delete_arcs": [[5, 6]]}}
+//
+// loss is the uniform per-arc per-round delivery loss probability;
+// arc_loss overrides it for named arcs; crashes silences a node for the
+// half-open round window [from, to); delete_arcs removes arcs outright.
+// The seed is part of the cache identity: every trial derives its own
+// splitmix64 stream from (seed, trial index), so identical requests replay
+// the identical distribution regardless of worker count, and changing only
+// the seed is a distinct cache entry (the key grows a
+// "|scenario{...}|trials=N" suffix — systolic.ScenarioKey — so scenario
+// and plain certifications can never collide). trials defaults to 64 and
+// is capped at systolic.MaxScenarioTrials.
+//
+// The response envelope wraps the systolic.StatisticalCertificate schema:
+// the deterministic baseline certificate ("deterministic"), the paper's
+// lower bound ("lower_bound"), and the trial statistics —
+//
+//	{"report": {"network": "hypercube-10", "mode": "full-duplex",
+//	 "period": 10, "budget": 100000,
+//	 "scenario": {"loss": 0.05, "seed": 1},
+//	 "lower_bound": {...}, "deterministic": {...},
+//	 "trials": {"trials": 256, "completed": 256, "truncated": 0,
+//	  "completion_rate": 1, "mean_rounds": 12.4, "min_rounds": 11,
+//	  "max_rounds": 16, "p50": 12, "p90": 14, "p99": 15,
+//	  "distribution_fp": 1234567890},
+//	 "bound_respected": true, "mean_drift_rounds": 2.4}}
+//
+// bound_respected compares the measured median against the deterministic
+// lower bound; mean_drift_rounds is the mean completion round minus the
+// deterministic run's. Trials that exhaust the round budget are censored,
+// not errors: they are counted in "truncated" (and excluded from the
+// quantiles), and an async scenario job finishes "done" with those counts
+// in its result rather than failing. distribution_fp fingerprints the
+// per-trial outcome vector, so cached replays are verifiably identical.
+// The gossipd_scenario_trials_total / _truncated_total counters on
+// /metrics expose trial volume.
+//
 // POST /v1/broadcast — measure the BFS-tree broadcast time:
 //
 //	{"kind": "hypercube", "params": {"dimension": 6}, "source": 0}
@@ -124,13 +169,15 @@
 //	 "protocols": ["cycle2", "doubling", ...]}
 //
 // GET /healthz — liveness plus load: {"status": "ok" | "draining",
-// "uptime_seconds", "inflight", "queued", "cache_entries",
-// "program_entries", "plan_entries"}.
+// "version" (Config.Version, "dev" when unset), "uptime_seconds",
+// "inflight", "queued", "cache_entries", "program_entries",
+// "plan_entries"}.
 //
 // GET /metrics — Prometheus text format: requests by endpoint, cache
 // hits/misses and hit ratio, program-cache hits/misses, delay-plan-cache
-// hits/misses, dedup shares, simulations run, rounds simulated, queue
-// rejections, in-flight sessions, queue depth.
+// hits/misses, dedup shares, simulations run, rounds simulated, scenario
+// trials run and truncated, queue rejections, in-flight sessions, queue
+// depth.
 //
 // # Errors
 //

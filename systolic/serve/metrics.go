@@ -29,6 +29,9 @@ type Metrics struct {
 	inflight      atomic.Int64 // computations currently running
 	queued        atomic.Int64 // computations waiting for a worker
 	jobsDone      atomic.Int64 // async jobs finished (any terminal status)
+
+	scenarioTrials    atomic.Int64 // Monte-Carlo scenario trials executed
+	scenarioTruncated atomic.Int64 // scenario trials censored at their round budget
 }
 
 func newMetrics() *Metrics {
@@ -62,6 +65,9 @@ type Snapshot struct {
 	Inflight      int64            `json:"inflight"`
 	Queued        int64            `json:"queued"`
 	JobsDone      int64            `json:"jobs_done"`
+
+	ScenarioTrials    int64 `json:"scenario_trials"`
+	ScenarioTruncated int64 `json:"scenario_trials_truncated"`
 }
 
 // HitRatio returns cache hits over cache-answerable lookups, 0 when none
@@ -92,6 +98,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Inflight:      m.inflight.Load(),
 		Queued:        m.queued.Load(),
 		JobsDone:      m.jobsDone.Load(),
+
+		ScenarioTrials:    m.scenarioTrials.Load(),
+		ScenarioTruncated: m.scenarioTruncated.Load(),
 	}
 	m.mu.Lock()
 	for ep, c := range m.requests {
@@ -132,6 +141,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("gossipd_rounds_simulated_total", "Communication rounds simulated across all sessions.", s.Rounds)
 	counter("gossipd_rejected_total", "Requests rejected with 429 because the worker queue was full.", s.Rejected)
 	counter("gossipd_jobs_done_total", "Async jobs that reached a terminal status.", s.JobsDone)
+	counter("gossipd_scenario_trials_total", "Monte-Carlo scenario trials executed.", s.ScenarioTrials)
+	counter("gossipd_scenario_trials_truncated_total", "Scenario trials censored at their round budget.", s.ScenarioTruncated)
 	gauge("gossipd_inflight_sessions", "Computations currently holding a worker.", s.Inflight)
 	gauge("gossipd_queue_depth", "Computations waiting for a worker.", s.Queued)
 	fmt.Fprintf(w, "# HELP gossipd_cache_hit_ratio Cache hits over cache lookups.\n")

@@ -23,7 +23,27 @@ type AnalyzeRequest struct {
 	// AllSources measures the broadcast time from every source instead of
 	// one (broadcast only); the response is a BroadcastAllReport.
 	AllSources bool `json:"all_sources,omitempty"`
+	// Scenario switches a certify request into a Monte-Carlo scenario
+	// certification (certify only): the response is a
+	// systolic.StatisticalCertificate instead of a Certificate.
+	Scenario *ScenarioRequest `json:"scenario,omitempty"`
 }
+
+// ScenarioRequest is the wire form of the certify scenario block: the
+// fault model (systolic.Scenario — loss, arc_loss, crashes, delete_arcs,
+// seed) plus the Monte-Carlo trial count. The seed is part of the cache
+// identity; repeating a request with the same seed replays the cached
+// distribution.
+type ScenarioRequest struct {
+	systolic.Scenario
+	// Trials is the Monte-Carlo trial count; 0 means DefaultScenarioTrials,
+	// and systolic.MaxScenarioTrials caps it.
+	Trials int `json:"trials,omitempty"`
+}
+
+// DefaultScenarioTrials is the trial count of a scenario certification
+// that does not name one.
+const DefaultScenarioTrials = 64
 
 // SweepRequest is the wire form of POST /v1/sweep: a grid of analyze jobs
 // streamed back as JSON lines (or run asynchronously with ?async=true).
@@ -76,6 +96,9 @@ type normalized struct {
 	source    int
 	key       string
 	progKey   string
+	// scenario and trials are set only for scenario certifications.
+	scenario *systolic.Scenario
+	trials   int
 }
 
 // opProgram keys compiled programs in the program cache: the same
@@ -122,6 +145,9 @@ func normalizeBudget(budget int) (int, error) {
 
 // normalizeAnalyze validates an analyze request and computes its cache key.
 func normalizeAnalyze(req AnalyzeRequest) (normalized, error) {
+	if req.Scenario != nil {
+		return normalized{}, badRequestf("scenario blocks are only valid on /v1/certify")
+	}
 	list, params, err := normalizeParams(req.Kind, req.Params)
 	if err != nil {
 		return normalized{}, err
@@ -146,12 +172,41 @@ func normalizeAnalyze(req AnalyzeRequest) (normalized, error) {
 // The inputs are exactly an analyze's; only the result-cache operation
 // differs (a Certificate is not a Report). progKey is shared with analyze,
 // so certifications reuse programs (and delay plans ride the same key).
+//
+// A scenario block turns the request into a Monte-Carlo certification: the
+// operation becomes certify-scenario and the key grows the canonical fault
+// model and trial count (systolic.ScenarioKey), so scenario and plain
+// certifications can never share a cache entry. progKey is unchanged —
+// scenario runs execute the same compiled schedule.
 func normalizeCertify(req AnalyzeRequest) (normalized, error) {
-	n, err := normalizeAnalyze(req)
+	plain := req
+	plain.Scenario = nil
+	n, err := normalizeAnalyze(plain)
 	if err != nil {
 		return normalized{}, err
 	}
-	n.key = systolic.RequestKey(systolic.OpCertify, n.kind, n.params, n.protocol, n.budget, n.source)
+	if req.Scenario == nil {
+		n.key = systolic.RequestKey(systolic.OpCertify, n.kind, n.params, n.protocol, n.budget, n.source)
+		return n, nil
+	}
+	sr := req.Scenario
+	if sr.Loss < 0 || sr.Loss > 1 {
+		return normalized{}, badRequestf("scenario loss must lie in [0, 1], got %v", sr.Loss)
+	}
+	switch {
+	case sr.Trials < 0:
+		return normalized{}, badRequestf("scenario trials must be non-negative, got %d", sr.Trials)
+	case sr.Trials == 0:
+		n.trials = DefaultScenarioTrials
+	case sr.Trials > systolic.MaxScenarioTrials:
+		return normalized{}, badRequestf("scenario trials %d exceed the limit %d", sr.Trials, systolic.MaxScenarioTrials)
+	default:
+		n.trials = sr.Trials
+	}
+	sc := sr.Scenario
+	n.scenario = &sc
+	base := systolic.RequestKey(systolic.OpCertifyScenario, n.kind, n.params, n.protocol, n.budget, n.source)
+	n.key = systolic.ScenarioKey(base, n.scenario, n.trials)
 	return n, nil
 }
 
@@ -163,6 +218,9 @@ const opBroadcastAll = "broadcast-all"
 // key. The source range is checked at instantiation time (the network does
 // not exist yet here); all-sources requests ignore Source.
 func normalizeBroadcast(req AnalyzeRequest) (normalized, error) {
+	if req.Scenario != nil {
+		return normalized{}, badRequestf("scenario blocks are only valid on /v1/certify")
+	}
 	list, params, err := normalizeParams(req.Kind, req.Params)
 	if err != nil {
 		return normalized{}, err

@@ -44,6 +44,9 @@ type Config struct {
 	MaxJobs int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Version is the build/version string reported on /healthz (default
+	// "dev"; binaries stamp it from their build info).
+	Version string
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +73,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Version == "" {
+		c.Version = "dev"
 	}
 	return c
 }
@@ -320,6 +326,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":          status,
+		"version":         s.cfg.Version,
 		"uptime_seconds":  time.Since(s.started).Seconds(),
 		"inflight":        s.metrics.inflight.Load(),
 		"queued":          s.metrics.queued.Load(),
@@ -460,10 +467,16 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	op := systolic.OpCertify
+	compute := s.runCertifySession
+	if n.scenario != nil {
+		op = systolic.OpCertifyScenario
+		compute = s.runCertifyScenario
+	}
 	if r.URL.Query().Get("async") == "true" {
-		s.submitAsync(w, systolic.OpCertify, n.key, func(ctx context.Context, jobID string) (any, error) {
+		s.submitAsync(w, op, n.key, func(ctx context.Context, jobID string) (any, error) {
 			items, err := s.sharedItems(ctx, n.key, 1, s.valueCompute(n.key, func(ctx context.Context) (any, error) {
-				return s.runCertifySession(ctx, n)
+				return compute(ctx, n)
 			}))
 			if err != nil {
 				return nil, err
@@ -473,7 +486,7 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveValue(w, r, n.key, func(ctx context.Context) (any, error) {
-		return s.runCertifySession(ctx, n)
+		return compute(ctx, n)
 	})
 }
 
@@ -516,6 +529,31 @@ func (s *Server) runCertifySession(ctx context.Context, n normalized) (any, erro
 	}
 	defer sess.Close()
 	return sess.Certify(ctx)
+}
+
+// runCertifyScenario drives one Monte-Carlo scenario certification over
+// the cached compiled program and delay plan. A budget-truncated trial is
+// data, not an error — the StatisticalCertificate carries per-trial
+// truncation counts — so async scenario jobs finish JobDone with the
+// counts in the job result instead of failing; the only failures are
+// invalid inputs and cancellation.
+func (s *Server) runCertifyScenario(ctx context.Context, n normalized) (any, error) {
+	pr, err := s.compiledProgram(n)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := s.cachedDelayPlan(n, pr)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := systolic.CertifyScenarioProgram(ctx, pr, n.scenario, n.trials,
+		systolic.WithRoundBudget(n.budget), systolic.WithDelayPlan(dp), s.roundsObserver())
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.scenarioTrials.Add(int64(cert.Trials.Trials))
+	s.metrics.scenarioTruncated.Add(int64(cert.Trials.Truncated))
+	return cert, nil
 }
 
 func writeCheckpointFile(path string, sess *systolic.Session) error {
