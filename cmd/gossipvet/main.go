@@ -1,0 +1,113 @@
+// Command gossipvet runs the repository's custom static-analysis suite
+// (internal/analysis): hotalloc, determinism, cachekey and errdiscipline.
+// It enforces at vet time the invariants the test suite pins at run time —
+// zero-allocation hot paths, byte-reproducible executions, collision-free
+// cache keys and typed public errors.
+//
+// Two modes:
+//
+//	gossipvet [packages]              standalone: analyzes the whole module
+//	                                  containing the working directory, with
+//	                                  full cross-package transitive analysis
+//	go vet -vettool=$(which gossipvet) ./...
+//	                                  unit mode: gossipvet speaks the vet
+//	                                  tool protocol (-V=full, -flags,
+//	                                  package.cfg) and analyzes one
+//	                                  compilation unit at a time; hotalloc
+//	                                  then checks transitive callees within
+//	                                  the unit only
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	// go vet tool protocol handshakes.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			return
+		case a == "-flags" || a == "--flags":
+			// No analyzer flags: report an empty flag set to cmd/go.
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		unitCheck(args[0])
+		return
+	}
+
+	// Standalone whole-module mode. Package patterns are accepted for
+	// familiarity (gossipvet ./...) but the analysis always loads the full
+	// module: hotalloc's transitive walk and cachekey's writer pairing need
+	// every package's syntax anyway.
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") {
+			fmt.Fprintf(os.Stderr, "gossipvet: unknown flag %s\n", a)
+			os.Exit(2)
+		}
+	}
+	root, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gossipvet: %v\n", err)
+		os.Exit(2)
+	}
+	m, err := analysis.LoadTree(root, modPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gossipvet: load: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(m, analysis.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gossipvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		rel := f
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel.Pos.Filename = r
+		}
+		fmt.Fprintln(os.Stderr, rel)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "gossipvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModule locates the enclosing go.mod and returns its directory and
+// module path.
+func findModule() (root, modPath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s has no module directive", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildErr  error
+	toolPath  string
+)
+
+// buildTool compiles gossipvet once per test binary.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "gossipvet-test")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		toolPath = filepath.Join(dir, "gossipvet")
+		out, err := exec.Command("go", "build", "-o", toolPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			t.Logf("go build: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building gossipvet: %v", buildErr)
+	}
+	return toolPath
+}
+
+// scratchModule writes a module named repro (so the package-path-scoped
+// rules fire) containing one determinism violation in a strict package and
+// one hot-path allocation at the root.
+func scratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module repro\n\ngo 1.24\n")
+	write("hot.go", `package hot
+
+//gossip:hotpath
+func Step(xs []int, n int) []int {
+	return append(xs, n)
+}
+`)
+	write("internal/scenario/clock.go", `package scenario
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	return dir
+}
+
+// TestVersionHandshake: the -V=full protocol line is what cmd/go caches
+// vet results under; it must carry a content-derived build ID.
+func TestVersionHandshake(t *testing.T) {
+	tool := buildTool(t)
+	out, err := exec.Command(tool, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("gossipvet -V=full: %v", err)
+	}
+	got := strings.TrimSpace(string(out))
+	if !strings.HasPrefix(got, "gossipvet version ") || !strings.Contains(got, "buildID=") {
+		t.Fatalf("handshake line %q lacks the name/buildID shape cmd/go parses", got)
+	}
+}
+
+// TestStandaloneFindsSeededViolations: whole-module mode walks the tree
+// from the working directory's go.mod and exits 1 with findings.
+func TestStandaloneFindsSeededViolations(t *testing.T) {
+	tool := buildTool(t)
+	dir := scratchModule(t)
+	cmd := exec.Command(tool, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("exit = %v (output %s), want exit status 1", err, out)
+	}
+	text := string(out)
+	for _, wantFragment := range []string{
+		"hotalloc: append may grow its backing array",
+		"determinism: time.Now is ambient entropy",
+	} {
+		if !strings.Contains(text, wantFragment) {
+			t.Errorf("standalone output lacks %q:\n%s", wantFragment, text)
+		}
+	}
+}
+
+// TestVetToolProtocol: the go vet -vettool integration end to end — cmd/go
+// drives gossipvet through -V=full, -flags and per-unit .cfg files, and
+// the findings surface as vet diagnostics with a non-zero exit.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain per compilation unit")
+	}
+	tool := buildTool(t)
+	dir := scratchModule(t)
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on seeded violations:\n%s", out)
+	}
+	text := string(out)
+	for _, wantFragment := range []string{
+		"hotalloc: append may grow its backing array",
+		"determinism: time.Now is ambient entropy",
+	} {
+		if !strings.Contains(text, wantFragment) {
+			t.Errorf("vet output lacks %q:\n%s", wantFragment, text)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the JSON configuration file cmd/go hands a -vettool
+// for each compilation unit (see golang.org/x/tools/go/analysis/unitchecker
+// for the reference implementation of the protocol; the field set below is
+// the stable subset gossipvet needs).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck analyzes one compilation unit under the go vet tool protocol.
+func unitCheck(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("reading config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing config %s: %v", cfgFile, err)
+	}
+
+	// gossipvet exchanges no facts between units, but cmd/go requires the
+	// facts file to exist for caching; write it empty up front.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatalf("writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		// Canonicalize through the unit's import map (vendoring, test
+		// variants), then open the export data the toolchain prepared.
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	m, err := analysis.LoadFiles(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("%v", err)
+	}
+	findings, err := analysis.Run(m, analysis.All())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+// printVersion implements the -V=full handshake: cmd/go uses the output
+// line as the tool's build ID for vet result caching, so it must change
+// when the binary does — hash the executable.
+func printVersion() {
+	name := "gossipvet"
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gossipvet: "+format+"\n", args...)
+	os.Exit(1)
+}

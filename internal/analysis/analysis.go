@@ -1,0 +1,204 @@
+// Package analysis implements gossipvet, a static-analysis suite that
+// enforces this repository's load-bearing invariants at vet time instead
+// of at benchmark or cache-poisoning time. See doc.go for the catalog of
+// analyzers and the //gossip: annotation grammar.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check. It mirrors the shape of
+// golang.org/x/tools/go/analysis.Analyzer, but is self-contained: the
+// toolchain image this repository builds under carries no module
+// dependencies, so the driver, loader and unitchecker protocol are all
+// implemented on the standard library.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and documentation.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run analyzes one package and reports findings through pass.Report.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer. Module is always non-nil; when only a single package's syntax
+// is available (the go vet -vettool unit-at-a-time protocol) it holds just
+// that package and cross-package checks degrade gracefully.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	Module   *Module
+	Report   func(Diagnostic)
+}
+
+// Reportf formats and reports one diagnostic.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Package is one type-checked package with full syntax.
+type Package struct {
+	// Path is the import path ("repro/internal/gossip").
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	annots *Annotations // lazily built //gossip: directive index
+}
+
+// Module is the set of packages visible to an analysis run: the whole
+// repository in gossipvet's standalone mode, a single compilation unit in
+// -vettool mode.
+type Module struct {
+	// Path is the module path ("repro"); import paths of member packages
+	// are rooted under it.
+	Path     string
+	Fset     *token.FileSet
+	Packages []*Package
+
+	byPath map[string]*Package
+	decls  map[*types.Func]FuncSource
+}
+
+// FuncSource locates the syntax of a function declaration inside the
+// module.
+type FuncSource struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// Lookup returns the member package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package {
+	if m.byPath == nil || len(m.byPath) != len(m.Packages) {
+		m.byPath = make(map[string]*Package, len(m.Packages))
+		for _, p := range m.Packages {
+			m.byPath[p.Path] = p
+		}
+	}
+	return m.byPath[path]
+}
+
+// DeclOf returns the declaration syntax of fn when its package's source is
+// part of the module. The zero FuncSource means the body is unavailable
+// (standard library, export-data-only dependency in -vettool mode).
+func (m *Module) DeclOf(fn *types.Func) FuncSource {
+	if m.decls == nil {
+		m.decls = make(map[*types.Func]FuncSource)
+		for _, p := range m.Packages {
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						m.decls[obj] = FuncSource{Decl: fd, Pkg: p}
+					}
+				}
+			}
+		}
+	}
+	return m.decls[fn]
+}
+
+// Annots returns the package's parsed //gossip: directive index, building
+// it on first use.
+func (p *Package) Annots(fset *token.FileSet) *Annotations {
+	if p.annots == nil {
+		p.annots = parseAnnotations(fset, p)
+	}
+	return p.annots
+}
+
+// All is the gossipvet analyzer suite in its canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{HotAlloc, Determinism, CacheKey, ErrDiscipline}
+}
+
+// Run applies every analyzer to every package of the module and returns
+// the deduplicated findings in file/position order. Cross-package
+// analyzers (hotalloc descends into callees of other packages) may report
+// the same finding from several roots; the (position, analyzer, message)
+// triple collapses them.
+func Run(m *Module, analyzers []*Analyzer) ([]Finding, error) {
+	type key struct {
+		pos      token.Pos
+		analyzer string
+		msg      string
+	}
+	seen := make(map[key]bool)
+	var out []Finding
+	for _, a := range analyzers {
+		for _, p := range m.Packages {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     m.Fset,
+				Pkg:      p,
+				Module:   m,
+			}
+			pass.Report = func(d Diagnostic) {
+				k := key{d.Pos, a.Name, d.Message}
+				if seen[k] {
+					return
+				}
+				seen[k] = true
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Pos:      m.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, p.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+// Finding is a resolved diagnostic ready for printing.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// isTestFile reports whether pos lies in a _test.go file. The invariants
+// gossipvet enforces are production-code contracts; test files exercise
+// them (clocks, ad-hoc errors) without being bound by them.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	name := fset.Position(pos).Filename
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}

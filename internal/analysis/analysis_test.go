@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// The fixture harness mirrors x/tools' analysistest: each directory under
+// testdata/ is a mini-module loaded with module path "repro" (so
+// package-path-scoped rules — determinism's strict set, errdiscipline's
+// typed-error scope — fire exactly as they do on the real tree), and every
+// comment containing `want "regex"` declares that a finding matching the
+// regex must be reported on that comment's line. Unmatched findings and
+// unmatched wants both fail the test. For diagnostics reported at a
+// //gossip: directive itself, the expectation rides a block comment on the
+// same line: /* want "..." */ //gossip:...
+var (
+	wantMarker = regexp.MustCompile("want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+	wantQuoted = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func runCase(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	root := filepath.Join("testdata", name)
+	m, err := LoadTree(root, "repro")
+	if err != nil {
+		t.Fatalf("loading %s: %v", root, err)
+	}
+	findings, err := Run(m, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					match := wantMarker.FindStringSubmatch(c.Text)
+					if match == nil {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					for _, q := range wantQuoted.FindAllStringSubmatch(match[1], -1) {
+						pat := q[1]
+						if pat == "" {
+							pat = q[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestHotAllocFixtures(t *testing.T)      { runCase(t, "hotalloc", HotAlloc) }
+func TestDeterminismFixtures(t *testing.T)   { runCase(t, "determinism", Determinism) }
+func TestCacheKeyFixtures(t *testing.T)      { runCase(t, "cachekey", CacheKey) }
+func TestErrDisciplineFixtures(t *testing.T) { runCase(t, "errdiscipline", ErrDiscipline) }
+
+// TestAnnotFixtures runs the full suite over fixtures seeded with malformed
+// annotations: a directive that fails to parse or attach must surface as a
+// vet error from exactly one analyzer, never as a silent no-op.
+func TestAnnotFixtures(t *testing.T) { runCase(t, "annot", All()...) }
+
+// TestFindingsAreOrdered pins the driver contract: findings arrive sorted
+// by position and deduplicated, so CI output is stable across runs.
+func TestFindingsAreOrdered(t *testing.T) {
+	m, err := LoadTree(filepath.Join("testdata", "hotalloc"), "repro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(m, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	seen := make(map[string]bool)
+	for i, f := range findings {
+		if i > 0 {
+			prev, cur := findings[i-1].Pos, f.Pos
+			if prev.Filename > cur.Filename ||
+				(prev.Filename == cur.Filename && prev.Line > cur.Line) {
+				t.Errorf("findings out of order: %s after %s", f, findings[i-1])
+			}
+		}
+		key := fmt.Sprintf("%s|%s|%s", f.Pos, f.Analyzer, f.Message)
+		if seen[key] {
+			t.Errorf("duplicate finding: %s", f)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The //gossip: directive vocabulary. Directives follow the Go toolchain's
+// directive convention: no space after "//", verb attached to the
+// namespace, arguments separated by spaces. A malformed directive is a vet
+// error, never a silent no-op — an annotation that fails to parse would
+// otherwise disable the very invariant it claims to configure.
+const (
+	// VerbHotPath marks a function as an allocation-free hot path
+	// (hotalloc analyzes it and its module-internal callees). No
+	// arguments. Must sit in a function's doc comment.
+	VerbHotPath = "hotpath"
+	// VerbKeyWriter declares that the function is the canonical cache-key
+	// writer of the named struct type (same package). Exactly one
+	// argument. Must sit in a function's doc comment; one function may
+	// declare several.
+	VerbKeyWriter = "keywriter"
+	// VerbNoKey opts one exported struct field out of cache-key coverage.
+	// Requires a justification. Must sit on a struct field.
+	VerbNoKey = "nokey"
+	// VerbAllowAlloc suppresses hotalloc on the next (or same) line.
+	// Requires a justification.
+	VerbAllowAlloc = "allowalloc"
+	// VerbDeterministic suppresses determinism on the next (or same)
+	// line. Requires a justification.
+	VerbDeterministic = "deterministic"
+	// VerbAllowError suppresses errdiscipline's typed-error rule on the
+	// next (or same) line. Requires a justification.
+	VerbAllowError = "allowerror"
+	// VerbAllowPanic suppresses errdiscipline's no-panic rule on the next
+	// (or same) line. Requires a justification.
+	VerbAllowPanic = "allowpanic"
+)
+
+const directivePrefix = "//gossip:"
+
+// Directive is one parsed, well-formed //gossip: annotation.
+type Directive struct {
+	Verb string
+	// Args is the raw argument text: the type name for keywriter, the
+	// justification for reason-carrying verbs, empty for hotpath.
+	Args string
+	Pos  token.Pos
+	Line int
+	File string
+}
+
+// Malformed is an annotation that failed to parse or attach. Owner routes
+// the diagnostic to exactly one analyzer so the suite reports it once.
+type Malformed struct {
+	Pos     token.Pos
+	Message string
+	Owner   string // analyzer name
+}
+
+// Annotations indexes one package's //gossip: directives.
+type Annotations struct {
+	// perLine maps file name → line → directives anchored there.
+	perLine map[string]map[int][]Directive
+	// byPos maps a directive's position to itself, for attachment checks.
+	byPos map[token.Pos]Directive
+	// Malformed lists parse failures, routed by owner analyzer.
+	Malformed []Malformed
+}
+
+// ownerOf routes each verb's malformed-annotation diagnostics to one
+// analyzer. Unknown verbs belong to hotalloc, the first analyzer of the
+// suite.
+func ownerOf(verb string) string {
+	switch verb {
+	case VerbHotPath, VerbAllowAlloc:
+		return "hotalloc"
+	case VerbDeterministic:
+		return "determinism"
+	case VerbKeyWriter, VerbNoKey:
+		return "cachekey"
+	case VerbAllowError, VerbAllowPanic:
+		return "errdiscipline"
+	default:
+		return "hotalloc"
+	}
+}
+
+// parseAnnotations scans every comment of the package.
+func parseAnnotations(fset *token.FileSet, pkg *Package) *Annotations {
+	a := &Annotations{
+		perLine: make(map[string]map[int][]Directive),
+		byPos:   make(map[token.Pos]Directive),
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				a.add(fset, c.Pos(), text)
+			}
+		}
+	}
+	return a
+}
+
+func (a *Annotations) add(fset *token.FileSet, pos token.Pos, text string) {
+	verb, args, _ := strings.Cut(text, " ")
+	args = strings.TrimSpace(args)
+	bad := func(format string, subs ...any) {
+		a.Malformed = append(a.Malformed, Malformed{
+			Pos:     pos,
+			Message: fmt.Sprintf(format, subs...),
+			Owner:   ownerOf(verb),
+		})
+	}
+	switch verb {
+	case VerbHotPath:
+		if args != "" {
+			bad("gossip:hotpath takes no arguments (got %q)", args)
+			return
+		}
+	case VerbKeyWriter:
+		if args == "" || strings.ContainsAny(args, " \t") || !isIdent(args) {
+			bad("gossip:keywriter requires exactly one type name (got %q)", args)
+			return
+		}
+	case VerbNoKey, VerbAllowAlloc, VerbDeterministic, VerbAllowError, VerbAllowPanic:
+		if args == "" {
+			bad("gossip:%s requires a justification", verb)
+			return
+		}
+	default:
+		bad("unknown gossip directive %q (known: hotpath, keywriter, nokey, allowalloc, deterministic, allowerror, allowpanic)", verb)
+		return
+	}
+	position := fset.Position(pos)
+	d := Directive{Verb: verb, Args: args, Pos: pos, Line: position.Line, File: position.Filename}
+	lines := a.perLine[d.File]
+	if lines == nil {
+		lines = make(map[int][]Directive)
+		a.perLine[d.File] = lines
+	}
+	lines[d.Line] = append(lines[d.Line], d)
+	a.byPos[d.Pos] = d
+}
+
+// Suppressed reports whether a diagnostic of the given verb class at pos
+// is switched off by a directive on the same line or on one of the
+// directly preceding comment lines (a contiguous run of //gossip:
+// directives above the statement counts as attached to it).
+func (a *Annotations) Suppressed(fset *token.FileSet, verb string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	lines := a.perLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for line := p.Line; line >= p.Line-4 && line > 0; line-- {
+		ds, ok := lines[line]
+		if !ok {
+			if line != p.Line {
+				return false // gap: the directive run above has ended
+			}
+			continue
+		}
+		for _, d := range ds {
+			if d.Verb == verb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncDirectives returns the directives attached to a function's doc
+// comment, filtered to the given verb.
+func (a *Annotations) FuncDirectives(fd *ast.FuncDecl, verb string) []Directive {
+	return a.docDirectives(fd.Doc, verb)
+}
+
+// FieldDirectives returns the directives attached to a struct field (its
+// doc comment or its trailing same-line comment), filtered to verb.
+func (a *Annotations) FieldDirectives(field *ast.Field, verb string) []Directive {
+	out := a.docDirectives(field.Doc, verb)
+	out = append(out, a.docDirectives(field.Comment, verb)...)
+	return out
+}
+
+func (a *Annotations) docDirectives(doc *ast.CommentGroup, verb string) []Directive {
+	if doc == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range doc.List {
+		if d, ok := a.byPos[c.Pos()]; ok && d.Verb == verb {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AllDirectives returns every well-formed directive with the given verb
+// in the package, ordered by position.
+func (a *Annotations) AllDirectives(verb string) []Directive {
+	var out []Directive
+	for _, d := range a.byPos {
+		if d.Verb == verb {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// ReportMalformed routes this package's malformed annotations owned by
+// the running analyzer through the pass.
+func ReportMalformed(pass *Pass) {
+	ann := pass.Pkg.Annots(pass.Fset)
+	for _, m := range ann.Malformed {
+		if m.Owner == pass.Analyzer.Name && !isTestFile(pass.Fset, m.Pos) {
+			pass.Reportf(m.Pos, "%s", m.Message)
+		}
+	}
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		switch {
+		case r == '_', 'a' <= r && r <= 'z', 'A' <= r && r <= 'Z':
+		case i > 0 && '0' <= r && r <= '9':
+		default:
+			return false
+		}
+	}
+	return s != ""
+}

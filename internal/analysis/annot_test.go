@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestSuppressedContiguity: a suppression covers its own line and a
+// contiguous run of directive lines directly above the construct; a gap
+// of ordinary code or blank lines breaks the attachment.
+func TestSuppressedContiguity(t *testing.T) {
+	src := `package p
+
+func f() {
+	//gossip:allowalloc reason one
+	_ = make([]int, 1)
+
+	//gossip:allowalloc reason two
+
+	_ = make([]int, 2)
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := parseAnnotations(fset, &Package{Files: []*ast.File{file}})
+
+	posAt := func(line int) token.Pos {
+		return file.Pos() + token.Pos(lineOffset(src, line))
+	}
+	// Line 5 (first make) is directly under its directive: suppressed.
+	if !ann.Suppressed(fset, VerbAllowAlloc, posAt(5)) {
+		t.Error("construct directly under a directive was not suppressed")
+	}
+	// Line 9 (second make) is separated from its directive by a blank
+	// line: the run is broken and the suppression must not apply.
+	if ann.Suppressed(fset, VerbAllowAlloc, posAt(9)) {
+		t.Error("a blank line between directive and construct must break the suppression")
+	}
+	// An unrelated verb never suppresses.
+	if ann.Suppressed(fset, VerbDeterministic, posAt(5)) {
+		t.Error("suppression leaked across verbs")
+	}
+}
+
+// TestAllDirectivesOrdered: AllDirectives must return directives in
+// position order — the driver's output stability depends on it (the
+// analyzer suite flagged its own first draft for returning map order).
+func TestAllDirectivesOrdered(t *testing.T) {
+	src := `package p
+
+//gossip:nokey c
+var c int
+
+//gossip:nokey a
+var a int
+
+//gossip:nokey b
+var b int
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := parseAnnotations(fset, &Package{Files: []*ast.File{file}})
+	ds := ann.AllDirectives(VerbNoKey)
+	if len(ds) != 3 {
+		t.Fatalf("got %d directives, want 3", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1].Pos >= ds[i].Pos {
+			t.Errorf("directives out of position order: %v before %v", ds[i-1], ds[i])
+		}
+	}
+}
+
+// TestMalformedRouting: every malformed directive is owned by exactly one
+// analyzer, so the suite reports it once.
+func TestMalformedRouting(t *testing.T) {
+	src := `package p
+
+//gossip:hotpath with args
+//gossip:keywriter
+//gossip:nokey
+//gossip:deterministic
+//gossip:allowerror
+//gossip:mystery verb
+var x int
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := parseAnnotations(fset, &Package{Files: []*ast.File{file}})
+	if len(ann.Malformed) != 6 {
+		t.Fatalf("got %d malformed directives, want 6", len(ann.Malformed))
+	}
+	owners := map[string]int{}
+	for _, m := range ann.Malformed {
+		owners[m.Owner]++
+	}
+	want := map[string]int{"hotalloc": 2, "cachekey": 2, "determinism": 1, "errdiscipline": 1}
+	for owner, n := range want {
+		if owners[owner] != n {
+			t.Errorf("owner %s has %d malformed directives, want %d", owner, owners[owner], n)
+		}
+	}
+}
+
+// lineOffset returns the byte offset of the first non-tab character of the
+// given 1-based line.
+func lineOffset(src string, line int) int {
+	off := 0
+	for l := 1; l < line; l++ {
+		for off < len(src) && src[off] != '\n' {
+			off++
+		}
+		off++
+	}
+	for off < len(src) && (src[off] == '\t' || src[off] == ' ') {
+		off++
+	}
+	return off
+}

@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CacheKey enforces the cache-identity invariant of the serving layer:
+// every exported field of a struct paired with a canonical-key writer
+// must flow into the key that writer produces, or carry an explicit
+// //gossip:nokey justification. Without this, adding a field to a request
+// or fault-model struct silently makes gossipd serve stale results for
+// requests that differ only in the new field — a cache-poisoning bug that
+// no runtime test catches until the collision happens.
+//
+// Pairings are declared on the writer: //gossip:keywriter TypeName in the
+// doc comment of the function that renders the canonical form. Several
+// functions may declare the same type (the union of their reads covers
+// it), and one function may declare several types. Coverage is computed
+// transitively through same-package callees, so helpers count.
+var CacheKey = &Analyzer{
+	Name: "cachekey",
+	Doc:  "every exported field of a key-paired struct must be written into its canonical cache key (//gossip:keywriter / //gossip:nokey)",
+	Run:  runCacheKey,
+}
+
+func runCacheKey(pass *Pass) error {
+	ReportMalformed(pass)
+	ann := pass.Pkg.Annots(pass.Fset)
+	info := pass.Pkg.Info
+
+	type pairing struct {
+		typ     *types.TypeName
+		writers []*ast.FuncDecl
+		names   []string
+	}
+	pairings := make(map[*types.TypeName]*pairing)
+	attachedKW := make(map[token.Pos]bool)
+
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, d := range ann.FuncDirectives(fd, VerbKeyWriter) {
+				attachedKW[d.Pos] = true
+				obj := pass.Pkg.Types.Scope().Lookup(d.Args)
+				tn, ok := obj.(*types.TypeName)
+				if !ok {
+					pass.Reportf(d.Pos, "gossip:keywriter names %q, which is not a type in package %s", d.Args, pass.Pkg.Types.Name())
+					continue
+				}
+				if _, ok := tn.Type().Underlying().(*types.Struct); !ok {
+					pass.Reportf(d.Pos, "gossip:keywriter names %q, which is not a struct type", d.Args)
+					continue
+				}
+				p := pairings[tn]
+				if p == nil {
+					p = &pairing{typ: tn}
+					pairings[tn] = p
+				}
+				p.writers = append(p.writers, fd)
+				p.names = append(p.names, fd.Name.Name)
+			}
+		}
+	}
+	for _, d := range ann.AllDirectives(VerbKeyWriter) {
+		if !attachedKW[d.Pos] && !isTestFile(pass.Fset, d.Pos) {
+			pass.Reportf(d.Pos, "gossip:keywriter is not attached to a function declaration (move it into the writer's doc comment)")
+		}
+	}
+
+	// Track which nokey directives attach to a struct field, to flag
+	// floating ones afterwards.
+	attachedNokey := make(map[token.Pos]bool)
+
+	ordered := make([]*pairing, 0, len(pairings))
+	for _, p := range pairings {
+		ordered = append(ordered, p)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].typ.Name() < ordered[j].typ.Name() })
+	for _, p := range ordered {
+		covered := fieldsRead(pass, p.typ, p.writers)
+		sort.Strings(p.names)
+		writers := strings.Join(p.names, ", ")
+		structFields(pass, p.typ, func(field *ast.Field, name *ast.Ident) {
+			nokey := ann.FieldDirectives(field, VerbNoKey)
+			for _, d := range nokey {
+				attachedNokey[d.Pos] = true
+			}
+			if !ast.IsExported(name.Name) {
+				return
+			}
+			switch {
+			case covered[name.Name] && len(nokey) > 0:
+				pass.Reportf(nokey[0].Pos, "field %s.%s is annotated gossip:nokey but is read by key writer(s) %s: drop the annotation or the read", p.typ.Name(), name.Name, writers)
+			case !covered[name.Name] && len(nokey) == 0:
+				pass.Reportf(name.Pos(), "exported field %s.%s does not flow into canonical cache key writer(s) %s: requests differing only in it would collide in the cache; write it into the key or justify with //gossip:nokey", p.typ.Name(), name.Name, writers)
+			}
+		})
+	}
+
+	// nokey on fields of types that have no keywriter pairing, or outside
+	// any struct field, is annotation drift.
+	for _, d := range ann.AllDirectives(VerbNoKey) {
+		if !attachedNokey[d.Pos] && !isTestFile(pass.Fset, d.Pos) {
+			pass.Reportf(d.Pos, "gossip:nokey is not attached to a field of a keywriter-paired struct")
+		}
+	}
+	_ = info
+	return nil
+}
+
+// structFields visits the declared fields of the named struct type,
+// including embedded ones (whose name is the embedded type's name).
+func structFields(pass *Pass, tn *types.TypeName, visit func(*ast.Field, *ast.Ident)) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || pass.Pkg.Info.Defs[ts.Name] != tn {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if len(field.Names) == 0 {
+						// Embedded field: named after its type.
+						if id := embeddedName(field.Type); id != nil {
+							visit(field, id)
+						}
+						continue
+					}
+					for _, name := range field.Names {
+						visit(field, name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func embeddedName(e ast.Expr) *ast.Ident {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel
+	case *ast.IndexExpr:
+		return embeddedName(e.X)
+	}
+	return nil
+}
+
+// fieldsRead returns the names of tn's fields read anywhere in the writer
+// functions or the same-package functions they statically call.
+func fieldsRead(pass *Pass, tn *types.TypeName, writers []*ast.FuncDecl) map[string]bool {
+	info := pass.Pkg.Info
+	covered := make(map[string]bool)
+	visited := make(map[*types.Func]bool)
+
+	var walk func(body *ast.BlockStmt)
+	walk = func(body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := info.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if namedOf(sel.Recv()) != tn {
+					return true
+				}
+				// For promoted reads (x.Promoted through an embedded
+				// field), credit the embedded field of tn itself.
+				idx := sel.Index()
+				st, ok := tn.Type().Underlying().(*types.Struct)
+				if ok && len(idx) > 0 && idx[0] < st.NumFields() {
+					covered[st.Field(idx[0]).Name()] = true
+				}
+			case *ast.CallExpr:
+				callee := staticCallee(info, n)
+				if callee == nil || visited[callee] || callee.Pkg() != pass.Pkg.Types {
+					return true
+				}
+				visited[callee] = true
+				if src := pass.Module.DeclOf(callee); src.Decl != nil && src.Decl.Body != nil {
+					walk(src.Decl.Body)
+				}
+			}
+			return true
+		})
+	}
+	for _, fd := range writers {
+		if fd.Body != nil {
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				visited[fn] = true
+			}
+			walk(fd.Body)
+		}
+	}
+	return covered
+}
+
+// namedOf unwraps pointers and returns the type name of a named or
+// aliased type, or nil.
+func namedOf(t types.Type) *types.TypeName {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u.Obj()
+		case *types.Alias:
+			return u.Obj()
+		default:
+			return nil
+		}
+	}
+}

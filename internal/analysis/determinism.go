@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the byte-reproducibility contract of the execution
+// and certification layers: every scenario trial must replay from
+// (seed, trial) alone, and every report, fingerprint and serialized
+// output must be a pure function of its inputs.
+//
+// Two rule families:
+//
+//   - In the strict packages (internal/scenario, internal/gossip,
+//     internal/delay, internal/bounds) any ambient-entropy source is
+//     banned outright: time.Now/Since/Until, and every use of math/rand,
+//     math/rand/v2 or crypto/rand — randomness must come through the
+//     splitmix64 seam owned by internal/scenario.
+//
+//   - Module-wide, iterating a map in an order that escapes the function
+//     is flagged: a range over a map whose body appends to a slice that
+//     is returned without an intervening sort, writes into a
+//     Write*/Encode sink (fingerprint writers, serialized output), or
+//     returns a value derived from the iteration variables.
+//
+// Suppress a deliberate exception with //gossip:deterministic <reason>.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "executions and outputs must be reproducible: no ambient clocks or PRNGs in the execution layers, no map-iteration order escaping a function",
+	Run:  runDeterminism,
+}
+
+// determinismStrict lists the packages where ambient entropy is banned.
+var determinismStrict = map[string]bool{
+	"repro/internal/scenario": true,
+	"repro/internal/gossip":   true,
+	"repro/internal/delay":    true,
+	"repro/internal/bounds":   true,
+}
+
+// entropyPackages are the PRNG packages banned in strict packages.
+var entropyPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func runDeterminism(pass *Pass) error {
+	ReportMalformed(pass)
+	ann := pass.Pkg.Annots(pass.Fset)
+	info := pass.Pkg.Info
+	strict := determinismStrict[pass.Pkg.Path]
+
+	report := func(pos ast.Node, format string, args ...any) {
+		if isTestFile(pass.Fset, pos.Pos()) {
+			return
+		}
+		if ann.Suppressed(pass.Fset, VerbDeterministic, pos.Pos()) {
+			return
+		}
+		pass.Reportf(pos.Pos(), format+"; fix it or justify with //gossip:deterministic", args...)
+	}
+
+	for _, file := range pass.Pkg.Files {
+		if strict {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[id]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch path := obj.Pkg().Path(); {
+				case entropyPackages[path]:
+					report(id, "use of %s.%s: randomness in the execution layers must derive from the splitmix64 seam", path, obj.Name())
+				case path == "time" && (obj.Name() == "Now" || obj.Name() == "Since" || obj.Name() == "Until"):
+					report(id, "time.%s is ambient entropy: executions must be reproducible from their inputs", obj.Name())
+				}
+				return true
+			})
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapOrder(pass, fd, report)
+		}
+	}
+	return nil
+}
+
+// checkMapOrder analyzes one function for map-iteration order escaping
+// through returns, sinks or unsorted returned slices.
+func checkMapOrder(pass *Pass, fd *ast.FuncDecl, report func(ast.Node, string, ...any)) {
+	info := pass.Pkg.Info
+
+	// Variables that are sorted anywhere in the function.
+	sorted := make(map[*types.Var]bool)
+	// Variables returned by the function (directly) plus named results.
+	returned := make(map[*types.Var]bool)
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					returned[v] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if callee := staticCallee(info, n); callee != nil && callee.Pkg() != nil {
+				path := callee.Pkg().Path()
+				if (path == "sort" || path == "slices") && len(n.Args) > 0 {
+					for _, v := range identVars(info, n.Args[0]) {
+						sorted[v] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				for _, v := range identVars(info, res) {
+					returned[v] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := info.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		iterVars := make(map[*types.Var]bool)
+		for _, e := range []ast.Expr{rng.Key, rng.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if v, ok := info.Defs[id].(*types.Var); ok {
+					iterVars[v] = true
+				}
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					iterVars[v] = true
+				}
+			}
+		}
+		ast.Inspect(rng.Body, func(b ast.Node) bool {
+			switch b := b.(type) {
+			case *ast.AssignStmt:
+				// v = append(v, ...) inside a map range: order lands in v.
+				for i, rhs := range b.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isAppend(info, call) || i >= len(b.Lhs) {
+						continue
+					}
+					id, ok := b.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v, _ := info.Uses[id].(*types.Var)
+					if v == nil {
+						v, _ = info.Defs[id].(*types.Var)
+					}
+					if v == nil || sorted[v] || !returned[v] {
+						continue
+					}
+					report(call, "map iteration order reaches the returned slice %q (sort it before returning)", id.Name)
+				}
+			case *ast.CallExpr:
+				if sinkCall(info, b) {
+					report(b, "map iteration order reaches a serialized output or fingerprint")
+				}
+			case *ast.ReturnStmt:
+				for _, res := range b.Results {
+					uses := false
+					ast.Inspect(res, func(rn ast.Node) bool {
+						if id, ok := rn.(*ast.Ident); ok {
+							if v, ok := info.Uses[id].(*types.Var); ok && iterVars[v] {
+								uses = true
+							}
+						}
+						return !uses
+					})
+					if uses {
+						report(b, "map iteration order reaches a return value")
+						break
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// sinkCall reports whether the call serializes data in iteration order: a
+// Write*/Encode method (hash writers, builders, encoders) or an
+// fmt Print/Fprint family call.
+func sinkCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return true
+		}
+		return false
+	}
+	if f, ok := info.Uses[sel.Sel].(*types.Func); ok && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return true
+		}
+	}
+	return false
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// identVars resolves an argument expression to the variables it directly
+// names: a bare identifier, or a one-argument conversion/call of one
+// (sort.Sort(byLen(v)) still sorts v).
+func identVars(info *types.Info, e ast.Expr) []*types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return []*types.Var{v}
+		}
+	case *ast.CallExpr:
+		if len(e.Args) == 1 {
+			return identVars(info, e.Args[0])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package analysis implements gossipvet, the repository's static-analysis
+// suite: four analyzers that enforce at vet time the invariants the test
+// suite pins at run time. The framework is self-contained — parsing, type
+// checking and the vet-tool protocol are built on the standard library
+// alone (go/ast, go/types, go/importer), so the suite runs offline with no
+// dependency on golang.org/x/tools.
+//
+// # Analyzers
+//
+//   - hotalloc: functions annotated //gossip:hotpath (the compiled-IR step
+//     loops, masked scenario stepping, matrix norm scratch paths) and
+//     their module-internal callees must not allocate. Flagged constructs
+//     include append, make, composite literals, capturing closures,
+//     method values, go statements, string building, interface boxing and
+//     calls into fmt/errors/sort/strconv/reflect/encoding. The runtime
+//     counterpart is the 0 allocs/op pins in the step benchmarks.
+//
+//   - determinism: in the strict packages (repro/internal/scenario,
+//     gossip, delay, bounds) ambient entropy — time.Now/Since/Until and
+//     the math/rand and crypto/rand families — is banned outright;
+//     randomness derives from internal/scenario's splitmix64 seam.
+//     Module-wide, map iteration whose order escapes a function (an
+//     unsorted returned slice, a Write*/Encode/fmt.Fprint sink, a return
+//     of an iteration variable) is flagged. The runtime counterpart is
+//     the byte-reproducibility pins on scenario trials.
+//
+//   - cachekey: a struct paired with a canonical-key writer
+//     (//gossip:keywriter TypeName on the writer) must have every
+//     exported field flow into the key, transitively through same-package
+//     callees, or carry //gossip:nokey <reason>. Several writers may
+//     cover one type jointly. The runtime counterpart is the cache-key
+//     collision pins in systolic and serve.
+//
+//   - errdiscipline: in repro/systolic and repro/systolic/serve, errors
+//     must chain to typed sentinels — fmt.Errorf requires %w and inline
+//     errors.New is banned — so callers can dispatch with errors.Is.
+//     Module-wide, library packages must not panic outside init and
+//     Must*/must* helpers.
+//
+// # Annotation grammar
+//
+// Directives follow the Go toolchain convention: no space after "//", the
+// verb attached to the gossip: namespace, arguments separated by spaces.
+// A malformed or floating directive is a vet error owned by exactly one
+// analyzer — never a silent no-op, because an annotation that fails to
+// parse would otherwise disable the invariant it claims to configure.
+//
+//	//gossip:hotpath                 function doc; no arguments
+//	//gossip:keywriter TypeName      function doc; same-package struct type
+//	//gossip:nokey <reason>          struct field (doc or trailing comment)
+//	//gossip:allowalloc <reason>     same line or the contiguous directive
+//	//gossip:deterministic <reason>  run directly above the construct;
+//	//gossip:allowerror <reason>     allowalloc and allowpanic in a
+//	//gossip:allowpanic <reason>     function's doc comment cover the whole
+//	                                 function (allowalloc only as a callee)
+//
+// # Running
+//
+// Standalone (full cross-package transitive analysis):
+//
+//	go run ./cmd/gossipvet ./...
+//
+// Under the go vet driver (per-unit, incremental, result-cached):
+//
+//	go build -o "$(go env GOPATH)/bin/gossipvet" ./cmd/gossipvet
+//	go vet -vettool="$(which gossipvet)" ./...
+//
+// In unit mode hotalloc checks transitive callees within the compilation
+// unit only; //gossip:hotpath annotations on cross-package callees act as
+// verified boundaries. The standalone mode is authoritative and is what CI
+// runs; both modes share the analyzers and the annotation grammar.
+package analysis

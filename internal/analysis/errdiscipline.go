@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrDiscipline enforces the error and panic discipline of the public
+// API surface:
+//
+//   - In repro/systolic and repro/systolic/serve, errors must be typed:
+//     fmt.Errorf is only legal when its format wraps another error with
+//     %w (chaining back to the ErrBadParam/ErrUnknownTopology/... family
+//     or a typed wrapper like serve's badRequestError), and inline
+//     errors.New is banned (sentinels are package-level vars). Callers
+//     dispatch on errors.Is; an untyped error silently falls through to
+//     HTTP 500 instead of 400/422.
+//
+//   - Module-wide, library packages must not panic outside init
+//     functions and Must*/must* helpers. Precondition guards that are
+//     deliberate (internal packages whose contracts the public API
+//     validates first) carry //gossip:allowpanic <reason> — on the
+//     panicking line for a one-off, or in the function's doc comment to
+//     cover every guard in that function.
+//
+// Suppress with //gossip:allowerror or //gossip:allowpanic.
+var ErrDiscipline = &Analyzer{
+	Name: "errdiscipline",
+	Doc:  "public API errors must be typed sentinels (no bare fmt.Errorf/errors.New); libraries must not panic outside init/must-helpers",
+	Run:  runErrDiscipline,
+}
+
+// typedErrorScope lists the packages under the typed-error rule.
+var typedErrorScope = map[string]bool{
+	"repro/systolic":       true,
+	"repro/systolic/serve": true,
+}
+
+func runErrDiscipline(pass *Pass) error {
+	ReportMalformed(pass)
+	ann := pass.Pkg.Annots(pass.Fset)
+	info := pass.Pkg.Info
+	errScope := typedErrorScope[pass.Pkg.Path]
+	panicScope := pass.Pkg.Types.Name() != "main"
+
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			mustHelper := fd.Name.Name == "init" ||
+				strings.HasPrefix(fd.Name.Name, "Must") || strings.HasPrefix(fd.Name.Name, "must")
+			// allowpanic in the doc comment blesses every guard in the
+			// function under one justification.
+			funcAllowsPanic := len(ann.FuncDirectives(fd, VerbAllowPanic)) > 0
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isTestFile(pass.Fset, call.Pos()) {
+					return true
+				}
+				switch {
+				case panicScope && isPanic(info, call) && !mustHelper && !funcAllowsPanic:
+					if !ann.Suppressed(pass.Fset, VerbAllowPanic, call.Pos()) {
+						pass.Reportf(call.Pos(), "library packages must not panic outside init/must-helpers: return a typed error, or justify the invariant guard with //gossip:allowpanic")
+					}
+				case errScope && isPkgFunc(info, call, "fmt", "Errorf"):
+					if ann.Suppressed(pass.Fset, VerbAllowError, call.Pos()) {
+						return true
+					}
+					format, known := constFormat(info, call)
+					switch {
+					case !known:
+						pass.Reportf(call.Pos(), "fmt.Errorf with a non-constant format cannot be checked for %%w wrapping: build the error from a typed sentinel, or justify with //gossip:allowerror")
+					case !strings.Contains(format, "%w"):
+						pass.Reportf(call.Pos(), "untyped error: fmt.Errorf without %%w cannot be matched by errors.Is; wrap a typed sentinel (ErrBadParam, ErrUnknownTopology, ...) or justify with //gossip:allowerror")
+					}
+				case errScope && isPkgFunc(info, call, "errors", "New"):
+					if !ann.Suppressed(pass.Fset, VerbAllowError, call.Pos()) {
+						pass.Reportf(call.Pos(), "inline errors.New creates an untyped error: declare a package-level sentinel var instead, or justify with //gossip:allowerror")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkg, name string) bool {
+	f := staticCallee(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkg && f.Name() == name
+}
+
+// constFormat extracts the constant value of the call's first argument.
+func constFormat(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

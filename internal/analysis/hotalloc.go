@@ -1,0 +1,429 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc enforces the zero-allocation contract of //gossip:hotpath
+// functions: the compiled-IR step loops, the masked scenario stepping and
+// the matrix norm scratch paths are all pinned to 0 allocs/op by runtime
+// benchmarks, and this analyzer turns the same contract into a vet error
+// at the construct that would break it. The check is transitive: every
+// module-internal function statically reachable from a hot-path root is
+// analyzed (callees that are themselves //gossip:hotpath are verified as
+// their own roots and act as checked boundaries).
+//
+// Flagged constructs: append, make of slices/maps/channels, slice and map
+// composite literals, closures that capture local variables, method
+// values, go statements, string concatenation and string<->[]byte/[]rune
+// conversions, conversions of non-pointer-shaped values to interfaces
+// (explicit or implicit at call, assignment and return sites), and calls
+// into allocation-heavy standard-library packages (fmt, errors, log,
+// sort, strconv, reflect, encoding/*).
+//
+// Arguments of a panic call are exempt: a panicking path terminates the
+// run, so its formatting cost never touches the steady state. Suppress a
+// deliberate allocation (amortized scratch growth, a cold error branch)
+// with //gossip:allowalloc <reason> on or directly above the line, or in
+// the doc comment of a *callee* to bless a whole amortized slow-path
+// function (a //gossip:hotpath root cannot self-exempt).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "hot-path (//gossip:hotpath) functions and their callees must not allocate",
+	Run:  runHotAlloc,
+}
+
+// allocPackages are standard-library packages whose entry points allocate
+// (or box their arguments); any call into them from a hot path is flagged.
+var allocPackages = map[string]bool{
+	"fmt": true, "errors": true, "log": true, "sort": true,
+	"strconv": true, "reflect": true,
+}
+
+func runHotAlloc(pass *Pass) error {
+	ReportMalformed(pass)
+	ann := pass.Pkg.Annots(pass.Fset)
+
+	// Roots: functions of this package whose doc carries //gossip:hotpath.
+	attached := make(map[token.Pos]bool)
+	c := &hotallocChecker{pass: pass, visited: make(map[*types.Func]bool)}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			ds := ann.FuncDirectives(fd, VerbHotPath)
+			for _, d := range ds {
+				attached[d.Pos] = true
+			}
+			if len(ds) == 0 {
+				continue
+			}
+			if fd.Body == nil {
+				pass.Reportf(fd.Pos(), "gossip:hotpath on a function with no body")
+				continue
+			}
+			fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.check(fn, FuncSource{Decl: fd, Pkg: pass.Pkg})
+		}
+	}
+	// A hotpath directive that did not land in a function's doc comment is
+	// a disabled invariant, not a comment: fail loudly.
+	for _, d := range ann.AllDirectives(VerbHotPath) {
+		if !attached[d.Pos] && !isTestFile(pass.Fset, d.Pos) {
+			pass.Reportf(d.Pos, "gossip:hotpath is not attached to a function declaration (move it into the function's doc comment)")
+		}
+	}
+	return nil
+}
+
+type hotallocChecker struct {
+	pass    *Pass
+	visited map[*types.Func]bool
+}
+
+// check analyzes one function body and recurses into its module-internal
+// static callees.
+func (c *hotallocChecker) check(fn *types.Func, src FuncSource) {
+	if c.visited[fn] {
+		return
+	}
+	c.visited[fn] = true
+	w := &hotallocWalker{
+		checker: c,
+		pkg:     src.Pkg,
+		ann:     src.Pkg.Annots(c.pass.Fset),
+		label:   shortFuncName(fn),
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	w.sigs = append(w.sigs, sig)
+	w.callFuns = collectCallFuns(src.Decl.Body)
+	w.walkBody(src.Decl.Body)
+}
+
+// hotallocWalker scans a single function body.
+type hotallocWalker struct {
+	checker  *hotallocChecker
+	pkg      *Package
+	ann      *Annotations
+	label    string
+	sigs     []*types.Signature // enclosing signatures; top is current
+	callFuns map[ast.Expr]bool  // expressions in call-operator position
+}
+
+func (w *hotallocWalker) info() *types.Info { return w.pkg.Info }
+
+func (w *hotallocWalker) report(pos token.Pos, format string, args ...any) {
+	if w.ann.Suppressed(w.checker.pass.Fset, VerbAllowAlloc, pos) {
+		return
+	}
+	args = append(args, w.label)
+	w.checker.pass.Reportf(pos, format+" in hot path (function %s); fix it or justify with //gossip:allowalloc", args...)
+}
+
+func (w *hotallocWalker) walkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, w.visit)
+}
+
+func (w *hotallocWalker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		// A panic's arguments run only on a terminating path: do not
+		// descend into them, and skip the call checks themselves.
+		if isPanic(w.info(), n) {
+			return false
+		}
+		w.call(n)
+	case *ast.CompositeLit:
+		switch w.info().TypeOf(n).Underlying().(type) {
+		case *types.Slice:
+			w.report(n.Pos(), "slice literal allocates")
+		case *types.Map:
+			w.report(n.Pos(), "map literal allocates")
+		}
+	case *ast.FuncLit:
+		if capturesLocal(w.info(), n) {
+			w.report(n.Pos(), "closure captures local variables and allocates")
+		}
+		// Walk the literal's body manually so the signature stack tracks
+		// return-site conversions, then prune the generic walk.
+		sig, _ := w.info().TypeOf(n).(*types.Signature)
+		w.sigs = append(w.sigs, sig)
+		ast.Inspect(n.Body, w.visit)
+		w.sigs = w.sigs[:len(w.sigs)-1]
+		return false
+	case *ast.GoStmt:
+		w.report(n.Pos(), "go statement allocates a goroutine")
+	case *ast.SelectorExpr:
+		if sel, ok := w.info().Selections[n]; ok && sel.Kind() == types.MethodVal && !w.callFuns[n] {
+			w.report(n.Pos(), "method value allocates a closure")
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if tv, ok := w.info().Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+				w.report(n.Pos(), "string concatenation allocates")
+			}
+		}
+	case *ast.AssignStmt:
+		if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+			if tv, ok := w.info().Types[n.Lhs[0]]; ok && isString(tv.Type) {
+				w.report(n.Pos(), "string concatenation allocates")
+			}
+		}
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				w.convCheck(w.info().TypeOf(n.Lhs[i]), n.Rhs[i])
+			}
+		}
+	case *ast.ValueSpec:
+		if n.Type != nil {
+			to := w.info().TypeOf(n.Type)
+			for _, v := range n.Values {
+				w.convCheck(to, v)
+			}
+		}
+	case *ast.ReturnStmt:
+		sig := w.sigs[len(w.sigs)-1]
+		if sig != nil && len(n.Results) == sig.Results().Len() {
+			for i, res := range n.Results {
+				w.convCheck(sig.Results().At(i).Type(), res)
+			}
+		}
+	}
+	return true
+}
+
+// call analyzes one call expression: builtins, conversions, static
+// callees, denylisted packages and implicit argument boxing.
+func (w *hotallocWalker) call(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversion: T(x).
+	if tv, ok := w.info().Types[fun]; ok && tv.IsType() {
+		to := tv.Type
+		if len(call.Args) == 1 {
+			w.convCheck(to, call.Args[0])
+			from := w.info().TypeOf(call.Args[0])
+			if from != nil && isStringBytesConv(to, from) {
+				w.report(call.Pos(), "string<->byte/rune slice conversion allocates")
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := w.info().Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				w.report(call.Pos(), "append may grow its backing array and allocates")
+			case "make":
+				switch w.info().TypeOf(call).Underlying().(type) {
+				case *types.Slice:
+					w.report(call.Pos(), "make of a slice allocates")
+				case *types.Map:
+					w.report(call.Pos(), "make of a map allocates")
+				case *types.Chan:
+					w.report(call.Pos(), "make of a channel allocates")
+				}
+			case "new":
+				w.report(call.Pos(), "new allocates")
+			}
+			return
+		}
+	}
+
+	callee := staticCallee(w.info(), call)
+	if callee != nil {
+		if pkg := callee.Pkg(); pkg != nil && pkg != w.pkg.Types {
+			path := pkg.Path()
+			if allocPackages[path] || strings.HasPrefix(path, "encoding/") {
+				w.report(call.Pos(), "call into allocating package %s", path)
+				return
+			}
+		}
+	}
+
+	// Implicit interface boxing of arguments.
+	if sig, ok := w.info().TypeOf(fun).(*types.Signature); ok && call.Ellipsis == token.NoPos {
+		for i, arg := range call.Args {
+			w.convCheck(paramType(sig, i), arg)
+		}
+	}
+
+	// Recurse into module-internal callees whose syntax we hold, unless
+	// the callee is itself a //gossip:hotpath root (verified separately).
+	if callee == nil {
+		return
+	}
+	src := w.checker.pass.Module.DeclOf(callee)
+	if src.Decl == nil || src.Decl.Body == nil {
+		return
+	}
+	calleeAnn := src.Pkg.Annots(w.checker.pass.Fset)
+	if len(calleeAnn.FuncDirectives(src.Decl, VerbHotPath)) > 0 {
+		return
+	}
+	// A callee whose doc carries allowalloc is a blessed amortized slow
+	// path (memoized builds, one-time growth): one justification covers
+	// the whole function.
+	if len(calleeAnn.FuncDirectives(src.Decl, VerbAllowAlloc)) > 0 {
+		return
+	}
+	w.checker.check(callee, src)
+}
+
+// convCheck flags a conversion of a non-pointer-shaped concrete value to
+// an interface type: the value is boxed on the heap.
+func (w *hotallocWalker) convCheck(to types.Type, from ast.Expr) {
+	if to == nil {
+		return
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := w.info().Types[from]
+	if !ok || tv.Type == nil {
+		return
+	}
+	ft := tv.Type
+	if ft == types.Typ[types.UntypedNil] {
+		return
+	}
+	if _, ok := ft.Underlying().(*types.Interface); ok {
+		return
+	}
+	if pointerShaped(ft) {
+		return
+	}
+	w.report(from.Pos(), "conversion of %s to an interface allocates", types.TypeString(ft, types.RelativeTo(w.pkg.Types)))
+}
+
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		if s, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// pointerShaped reports whether values of t fit in one word and convert
+// to an interface without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringBytesConv(to, from types.Type) bool {
+	return (isString(to) && isByteOrRuneSlice(from)) || (isString(from) && isByteOrRuneSlice(to))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// capturesLocal reports whether the function literal references variables
+// declared outside it that are neither package-level nor fields: such a
+// closure carries a heap-allocated environment.
+func capturesLocal(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == types.Universe {
+			return true
+		}
+		if pkg := v.Pkg(); pkg != nil && v.Parent() == pkg.Scope() {
+			return true // package-level variable: static reference
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+// collectCallFuns records the expressions in call-operator position, so a
+// selector used as f() is not mistaken for a method value.
+func collectCallFuns(body *ast.BlockStmt) map[ast.Expr]bool {
+	out := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			out[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+	return out
+}
+
+// staticCallee resolves a call to its target function when the target is
+// statically known (direct call or method call on a concrete receiver).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal {
+				if f, ok := sel.Obj().(*types.Func); ok {
+					return f
+				}
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.F().
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// shortFuncName renders "(*State).StepProgram" style labels without the
+// package path noise of types.Func.FullName.
+func shortFuncName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return fn.Name()
+	}
+	recv := types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg()))
+	return "(" + recv + ")." + fn.Name()
+}

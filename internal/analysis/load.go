@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadTree parses and type-checks every package under root as a module
+// rooted at modulePath, returning them in dependency order. The loader is
+// deliberately toolchain-independent: it walks directories itself, honours
+// build constraints through go/build, resolves module-internal imports
+// from the tree, and falls back to the standard library's source importer
+// for everything else — no go command, no network, no export data needed.
+//
+// Directories named testdata or vendor, and directories whose name starts
+// with "." or "_", are skipped, matching the go tool's package-matching
+// rules. _test.go files are not loaded: gossipvet's invariants bind
+// production code (the -vettool protocol still hands gossipvet test
+// variants, which the analyzers filter by filename).
+func LoadTree(root, modulePath string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	m := &Module{Path: modulePath, Fset: fset}
+
+	type rawPkg struct {
+		path    string
+		dir     string
+		files   []*ast.File
+		imports []string
+	}
+	var raw []*rawPkg
+	err = filepath.WalkDir(root, func(dir string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if dir != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		bp, err := build.Default.ImportDir(dir, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				return nil
+			}
+			return err
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		importPath := modulePath
+		if rel != "." {
+			importPath = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		rp := &rawPkg{path: importPath, dir: dir}
+		for _, fname := range bp.GoFiles {
+			file, err := parser.ParseFile(fset, filepath.Join(dir, fname), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			rp.files = append(rp.files, file)
+			for _, imp := range file.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == modulePath || strings.HasPrefix(p, modulePath+"/") {
+					rp.imports = append(rp.imports, p)
+				}
+			}
+		}
+		raw = append(raw, rp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Topological order over module-internal imports.
+	byPath := make(map[string]*rawPkg, len(raw))
+	for _, rp := range raw {
+		byPath[rp.path] = rp
+	}
+	var order []*rawPkg
+	state := make(map[*rawPkg]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(rp *rawPkg) error
+	visit = func(rp *rawPkg) error {
+		switch state[rp] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", rp.path)
+		case 2:
+			return nil
+		}
+		state[rp] = 1
+		deps := append([]string(nil), rp.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if d := byPath[dep]; d != nil {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[rp] = 2
+		order = append(order, rp)
+		return nil
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i].path < raw[j].path })
+	for _, rp := range raw {
+		if err := visit(rp); err != nil {
+			return nil, err
+		}
+	}
+
+	imp := &moduleImporter{
+		module:   m,
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	goVersion := readGoVersion(filepath.Join(root, "go.mod"))
+	for _, rp := range order {
+		pkg, err := typecheck(fset, rp.path, rp.files, imp, goVersion)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", rp.path, err)
+		}
+		m.Packages = append(m.Packages, pkg)
+	}
+	return m, nil
+}
+
+// LoadFiles type-checks a single package from an explicit file list using
+// the supplied importer for every dependency. It backs the go vet
+// -vettool protocol, where the toolchain hands gossipvet one compilation
+// unit plus export data for its imports.
+func LoadFiles(fset *token.FileSet, importPath string, filenames []string, imp types.Importer, goVersion string) (*Module, error) {
+	var files []*ast.File
+	for _, fname := range filenames {
+		file, err := parser.ParseFile(fset, fname, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, file)
+	}
+	m := &Module{Path: modulePathOf(importPath), Fset: fset}
+	pkg, err := typecheck(fset, importPath, files, imp, goVersion)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", importPath, err)
+	}
+	m.Packages = []*Package{pkg}
+	return m, nil
+}
+
+// modulePathOf guesses the module root of an import path; it only has to
+// be stable, the single-unit mode never resolves siblings through it.
+func modulePathOf(importPath string) string {
+	if i := strings.Index(importPath, "/"); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+func typecheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Error:     func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if len(errs) > 0 {
+		// Report at most a handful; a broken build is not analyzable.
+		msg := make([]string, 0, 5)
+		for i, e := range errs {
+			if i == 5 {
+				msg = append(msg, fmt.Sprintf("... and %d more", len(errs)-5))
+				break
+			}
+			msg = append(msg, e.Error())
+		}
+		return nil, fmt.Errorf("type errors:\n\t%s", strings.Join(msg, "\n\t"))
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// moduleImporter resolves module-internal imports from the already
+// type-checked tree and delegates everything else (standard library) to
+// the source importer.
+type moduleImporter struct {
+	module   *Module
+	fallback types.Importer
+}
+
+func (i *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := i.module.Lookup(path); p != nil {
+		return p.Types, nil
+	}
+	return i.fallback.Import(path)
+}
+
+// readGoVersion extracts the "go 1.xx" directive from a go.mod, returning
+// "" (meaning "latest") when the file or directive is absent.
+func readGoVersion(gomod string) string {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "go "); ok {
+			return "go" + strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,34 @@
+// Package annot seeds the annotation parser: every malformed or floating
+// directive must be a vet error from exactly one analyzer, never a silent
+// no-op that disables the invariant it claims to configure.
+package annot
+
+/* want `gossip:hotpath takes no arguments` */ //gossip:hotpath loops only
+func argsOnHotpath()                           {}
+
+/* want `gossip:keywriter requires exactly one type name` */ //gossip:keywriter
+func missingType() string                                    { return "" }
+
+/* want `gossip:nokey requires a justification` */ //gossip:nokey
+func bareNokey()                                   {}
+
+/* want `gossip:allowalloc requires a justification` */ //gossip:allowalloc
+func bareAllowalloc()                                   {}
+
+/* want `gossip:deterministic requires a justification` */ //gossip:deterministic
+func bareDeterministic()                                   {}
+
+/* want `gossip:allowerror requires a justification` */ //gossip:allowerror
+func bareAllowerror()                                   {}
+
+/* want `gossip:allowpanic requires a justification` */ //gossip:allowpanic
+func bareAllowpanic()                                   {}
+
+/* want `unknown gossip directive "frobnicate"` */ //gossip:frobnicate yes
+func unknownVerb()                                 {}
+
+// A well-formed //gossip: comment with extra spacing stays a directive
+// error rather than degrading into prose.
+
+/* want `unknown gossip directive ""` */ //gossip: hotpath
+func spacedVerb()                        {}

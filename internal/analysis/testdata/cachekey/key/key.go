@@ -1,0 +1,73 @@
+// Package key seeds cachekey: writer pairings with full, partial and
+// union coverage, embedded promotion, and annotation drift.
+package key
+
+import "strconv"
+
+// Req is covered except Skew, which silently poisons the cache.
+type Req struct {
+	Kind  string
+	N     int
+	Skew  int    // want `exported field Req.Skew does not flow into canonical cache key writer\(s\) Key`
+	Label string //gossip:nokey display only, not part of the result identity
+	priv  int
+}
+
+// Key renders Req's canonical cache identity.
+//
+//gossip:keywriter Req
+func (r *Req) Key() string {
+	return r.Kind + "/" + helper(r)
+}
+
+// helper proves coverage is transitive through same-package callees.
+func helper(r *Req) string { return strconv.Itoa(r.N) }
+
+// Wide is covered by the union of two writers.
+type Wide struct {
+	A int
+	B int
+}
+
+//gossip:keywriter Wide
+func keyA(w Wide) string { return strconv.Itoa(w.A) }
+
+//gossip:keywriter Wide
+func keyB(w Wide) string { return strconv.Itoa(w.B) }
+
+// Base is promoted into Outer.
+type Base struct{ ID int }
+
+// Outer reads a promoted field, which credits the embedded field itself.
+type Outer struct {
+	Base
+	Tag string
+}
+
+//gossip:keywriter Outer
+func (o Outer) Key() string { return strconv.Itoa(o.ID) + o.Tag }
+
+// Stale carries a nokey on a field its writer does read.
+type Stale struct {
+	A int /* want `field Stale.A is annotated gossip:nokey but is read by key writer\(s\) staleKey` */ //gossip:nokey stale claim
+}
+
+//gossip:keywriter Stale
+func staleKey(s Stale) string { return strconv.Itoa(s.A) }
+
+/* want `gossip:keywriter names "Missing", which is not a type` */ //gossip:keywriter Missing
+func badWriter() string                                            { return "" }
+
+/* want `gossip:keywriter names "NotAStruct", which is not a struct type` */ //gossip:keywriter NotAStruct
+func nonStructWriter() string                                                { return "" }
+
+// NotAStruct exists but cannot be key-paired.
+type NotAStruct int
+
+// Unpaired has no key writer: nokey on its field is annotation drift.
+type Unpaired struct {
+	X int /* want `gossip:nokey is not attached to a field of a keywriter-paired struct` */ //gossip:nokey drift
+}
+
+/* want `gossip:keywriter is not attached to a function declaration` */ //gossip:keywriter Req
+var floating = 1

@@ -1,0 +1,32 @@
+// Package scenario loads under the import path repro/internal/scenario,
+// one of determinism's strict packages: ambient clocks and PRNGs are
+// banned outright here.
+package scenario
+
+import (
+	"math/rand"
+	"time"
+)
+
+func ambient() int64 {
+	t := time.Now().UnixNano()   // want `time.Now is ambient entropy`
+	return t + int64(rand.Int()) // want `use of math/rand.Int`
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time.Since is ambient entropy`
+}
+
+// splitmix is the blessed seam: pure integer mixing of an explicit seed.
+func splitmix(seed uint64) uint64 {
+	seed += 0x9E3779B97F4A7C15
+	z := seed
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func justified() int64 {
+	//gossip:deterministic wall-clock logging only, never part of a result
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,52 @@
+// Package report is outside the strict set: clocks are legal here, but the
+// module-wide map-order rules still apply to anything that escapes.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// clocksAllowed: ambient time is fine outside the strict packages.
+func clocksAllowed() int64 { return time.Now().UnixNano() }
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration order reaches the returned slice "out"`
+	}
+	return out
+}
+
+// keysSorted is the accepted collect-then-sort shape.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fingerprint(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d;", k, v) // want `map iteration order reaches a serialized output`
+	}
+}
+
+func firstKey(m map[string]int) string {
+	for k := range m {
+		return k // want `map iteration order reaches a return value`
+	}
+	return ""
+}
+
+func probe(m map[string]int) string {
+	for k := range m {
+		//gossip:deterministic the caller only probes non-emptiness, any key serves
+		return k
+	}
+	return ""
+}

@@ -1,0 +1,9 @@
+// Command gossipd (fixture): package main is exempt from the no-panic
+// rule — a binary's top level may crash on unrecoverable states.
+package main
+
+func main() {
+	if len("x") != 1 {
+		panic("impossible")
+	}
+}

@@ -1,0 +1,70 @@
+// Package systolic loads under the import path repro/systolic, inside
+// errdiscipline's typed-error scope: public errors must chain to sentinels.
+package systolic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errBase is the package's sentinel family.
+var errBase = errors.New("systolic: base failure")
+
+func typed(n int) error {
+	return fmt.Errorf("%w: n=%d", errBase, n)
+}
+
+func untyped(n int) error {
+	return fmt.Errorf("systolic: bad n=%d", n) // want `untyped error: fmt.Errorf without %w`
+}
+
+func nonConstant(format string, n int) error {
+	return fmt.Errorf(format, n) // want `fmt.Errorf with a non-constant format`
+}
+
+func inline() error {
+	return errors.New("systolic: one-off") // want `inline errors.New creates an untyped error`
+}
+
+func justified() error {
+	//gossip:allowerror boundary translation: the caller wraps immediately
+	return errors.New("systolic: deliberate")
+}
+
+func guard(n int) {
+	if n < 0 {
+		panic("systolic: negative n") // want `library packages must not panic`
+	}
+}
+
+// MustGuard is a must-helper: panicking is its contract.
+func MustGuard(n int) {
+	if n < 0 {
+		panic("systolic: negative n")
+	}
+}
+
+func init() {
+	if len("x") != 1 {
+		panic("init-time invariants may panic")
+	}
+}
+
+// blessed carries a function-level justification covering every guard.
+//
+//gossip:allowpanic the registry validates inputs before construction
+func blessed(n int) {
+	if n < 0 {
+		panic("negative")
+	}
+	if n > 1<<20 {
+		panic("oversized")
+	}
+}
+
+func lineBlessed(n int) {
+	if n < 0 {
+		//gossip:allowpanic documented precondition of the internal contract
+		panic("negative")
+	}
+}

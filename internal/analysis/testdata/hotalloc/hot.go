@@ -1,0 +1,94 @@
+// Package hot seeds hotalloc with one violation per flagged construct,
+// plus the exemptions (panic arguments, line- and function-level
+// allowalloc, hotpath boundaries) that must stay silent.
+package hot
+
+import "fmt"
+
+type item struct{ a, b int }
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+var global []int
+
+//gossip:hotpath
+func step(xs []int, n int) int {
+	xs = append(xs, n)           // want `append may grow its backing array`
+	buf := make([]int, 4)        // want `make of a slice allocates`
+	idx := map[string]int{}      // want `map literal allocates`
+	lit := []int{1, 2}           // want `slice literal allocates`
+	ch := make(chan int)         // want `make of a channel allocates`
+	p := new(item)               // want `new allocates`
+	f := func() int { return n } // want `closure captures local variables`
+	helper(xs)
+	return buf[0] + idx["k"] + lit[0] + cap(ch) + p.a + f()
+}
+
+// helper is reached transitively from the hot path: its allocations are
+// charged to it by name.
+func helper(xs []int) {
+	global = append(global, xs...) // want `append may grow its backing array and allocates in hot path \(function helper\)`
+}
+
+//gossip:hotpath
+func box(v item, c *counter) any {
+	sink(v)   // want `conversion of item to an interface allocates`
+	_ = c.inc // want `method value allocates a closure`
+	go spin() // want `go statement allocates a goroutine`
+	return v  // want `conversion of item to an interface allocates`
+}
+
+func sink(any) {}
+
+func spin() {}
+
+//gossip:hotpath
+func str(a, b string, bs []byte) string {
+	s := a + b      // want `string concatenation allocates`
+	s += string(bs) // want `string concatenation allocates` `string<->byte/rune slice conversion allocates`
+	return s
+}
+
+//gossip:hotpath
+func exempt(n int) []int {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // panic path: formatting is exempt
+	}
+	fmt.Println(n) // want `call into allocating package fmt`
+	//gossip:allowalloc amortized: grows to the high-water mark once
+	scratch := make([]int, n)
+	return grow(scratch, n)
+}
+
+// grow is a blessed amortized slow path: the doc-level opt-out covers the
+// whole function when it is reached as a callee.
+//
+//gossip:allowalloc amortized: rebuilt only when the capacity is exceeded
+func grow(v []int, n int) []int {
+	if cap(v) < n {
+		v = make([]int, n)
+	}
+	return v[:n]
+}
+
+// checked is itself a hot-path root: recursion from other roots stops at
+// this boundary, and its own body is verified exactly once.
+//
+//gossip:hotpath
+func checked(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+//gossip:hotpath
+func callsChecked(xs []int) int {
+	return checked(xs)
+}
+
+/* want `gossip:hotpath is not attached to a function declaration` */ //gossip:hotpath
+var notAFunc = 3

@@ -12,6 +12,8 @@ import (
 // (maximum degree minus one for undirected graphs, maximum out-degree for
 // digraphs), per Liestman–Peters [22] and Bermond–Hell–Liestman–Peters [2].
 // d = 1 gives 1 (a path broadcasts linearly); d → ∞ tends to 2.
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func DBonacciRoot(d int) float64 {
 	if d < 1 {
 		panic(fmt.Sprintf("bounds: DBonacciRoot needs d ≥ 1, got %d", d))

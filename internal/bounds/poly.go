@@ -14,6 +14,8 @@ import (
 
 // P returns p_i(λ) = 1 + λ² + λ⁴ + … + λ^(2i−2), the i-term even-power sum
 // used throughout Section 4. P(0, λ) = 0 by the empty-sum convention.
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func P(i int, lambda float64) float64 {
 	if i < 0 {
 		panic(fmt.Sprintf("bounds: P with negative index %d", i))
@@ -39,6 +41,8 @@ func P(i int, lambda float64) float64 {
 }
 
 // PInfinity returns lim_{i→∞} p_i(λ) = 1/(1−λ²) for 0 < λ < 1.
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func PInfinity(lambda float64) float64 {
 	if lambda <= 0 || lambda >= 1 {
 		panic(fmt.Sprintf("bounds: PInfinity needs 0 < λ < 1, got %g", lambda))
@@ -48,6 +52,8 @@ func PInfinity(lambda float64) float64 {
 
 // GeomSum returns λ + λ² + … + λ^(s−1), the full-duplex norm bound of
 // Lemma 6.1. GeomSum(1, λ) = 0.
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func GeomSum(s int, lambda float64) float64 {
 	if s < 1 {
 		panic(fmt.Sprintf("bounds: GeomSum with s=%d < 1", s))
@@ -62,6 +68,8 @@ func GeomSum(s int, lambda float64) float64 {
 }
 
 // GeomSumInfinity returns λ/(1−λ), the s→∞ limit of GeomSum.
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func GeomSumInfinity(lambda float64) float64 {
 	if lambda <= 0 || lambda >= 1 {
 		panic(fmt.Sprintf("bounds: GeomSumInfinity needs 0 < λ < 1, got %g", lambda))
@@ -72,6 +80,8 @@ func GeomSumInfinity(lambda float64) float64 {
 // WHalfDuplex returns w(s,λ) = λ·√(p⌈s/2⌉(λ))·√(p⌊s/2⌋(λ)), the upper bound
 // on ‖M(λ)‖ for s-systolic protocols in the directed and half-duplex cases
 // (Lemma 4.3). It is strictly increasing in λ on (0,1) and decreasing in s.
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func WHalfDuplex(s int, lambda float64) float64 {
 	if s < 2 {
 		panic(fmt.Sprintf("bounds: WHalfDuplex with s=%d < 2", s))
@@ -89,6 +99,8 @@ func WHalfDuplexInfinity(lambda float64) float64 {
 
 // WFullDuplex returns the full-duplex norm bound λ + λ² + … + λ^(s−1)
 // (Lemma 6.1).
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func WFullDuplex(s int, lambda float64) float64 {
 	if s < 2 {
 		panic(fmt.Sprintf("bounds: WFullDuplex with s=%d < 2", s))

@@ -37,6 +37,8 @@ func SeparatorBound(sep Separator, w func(float64) float64) (e, lambdaStar float
 // it exists so the ablation benchmarks can quantify the accuracy/cost
 // trade-off of the grid size (the default 4000 is chosen so that every
 // 4-decimal table value is stable).
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func SeparatorBoundWithGrid(sep Separator, w func(float64) float64, gridN int) (e, lambdaStar float64) {
 	if !sep.Valid() {
 		panic(fmt.Sprintf("bounds: invalid separator α=%g ℓ=%g", sep.Alpha, sep.L))

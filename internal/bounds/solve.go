@@ -16,6 +16,8 @@ var GoldenRatioInverse = (math.Sqrt(5) - 1) / 2
 // SolveUnitRoot returns the unique λ ∈ (0,1) with w(λ) = 1 for a function w
 // that is continuous and strictly increasing on (0,1) with w(0+) < 1 and
 // w(1−) > 1. It panics if the bracketing fails.
+//
+//gossip:allowpanic numerical invariant: the bracketing solver keeps the root inside (0,1); an escape is a bug
 func SolveUnitRoot(w func(float64) float64) float64 {
 	lo, hi := 0.0, 1.0
 	// Shrink hi until w(hi) is finite and > 1 (the limits above blow up at 1).
@@ -40,6 +42,8 @@ func SolveUnitRoot(w func(float64) float64) float64 {
 
 // E converts a root λ₀ into the lower-bound coefficient
 // e = 1/log₂(1/λ₀) of Corollary 4.4.
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func E(lambda float64) float64 {
 	if lambda <= 0 || lambda >= 1 {
 		panic(fmt.Sprintf("bounds: E needs 0 < λ < 1, got %g", lambda))
@@ -52,6 +56,8 @@ func E(lambda float64) float64 {
 // any n-vertex network takes at least e(s)·log₂(n) − O(log log n) rounds.
 // s must be ≥ 3 (for s = 2 the paper's direct argument gives ≥ n−1 rounds;
 // see STwoLowerBound).
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func GeneralHalfDuplex(s int) (e, lambda float64) {
 	if s < 3 {
 		panic(fmt.Sprintf("bounds: GeneralHalfDuplex needs s ≥ 3, got %d", s))
@@ -73,6 +79,8 @@ func GeneralHalfDuplexInfinity() (e, lambda float64) {
 // bound of Section 6, where λ₀ solves λ + λ² + … + λ^(s−1) = 1. As the paper
 // notes, this coincides with the bound inferred from broadcasting in
 // bounded-degree graphs: GeneralFullDuplex(s).e == BroadcastConstant(s−1).
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func GeneralFullDuplex(s int) (e, lambda float64) {
 	if s < 3 {
 		panic(fmt.Sprintf("bounds: GeneralFullDuplex needs s ≥ 3, got %d", s))
@@ -100,6 +108,8 @@ func GeneralFullDuplexInfinity() (e, lambda float64) {
 // t ≥ [log₂(c) − (d−1)·log₂(w(λ)) − log₂(t−d+2) − log₂(t)] / log₂(1/λ).
 // The caller should maximize over λ; the right-hand side decreases in t, so
 // a linear scan terminates.
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func Theorem51LowerBound(c, d int, lambda, wVal float64) int {
 	if c < 1 || d < 1 {
 		return 0
@@ -126,6 +136,8 @@ func Theorem51LowerBound(c, d int, lambda, wVal float64) int {
 // STwoLowerBound returns the lower bound on 2-systolic gossiping for an
 // n-vertex network: n − 1 rounds (Section 4: the arcs of A₁ ∪ A₂ must form a
 // directed cycle, along which items advance at most one arc per step).
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func STwoLowerBound(n int) int {
 	if n < 1 {
 		panic(fmt.Sprintf("bounds: STwoLowerBound with n=%d", n))
@@ -140,6 +152,8 @@ func STwoLowerBound(n int) int {
 // i.e. t ≥ √n. (The protocol's two rounds are perfect matchings whose union
 // is a disjoint set of bidirected cycles, so the true time is Θ(n) on a
 // single cycle; √n is what the matrix technique certifies.)
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func STwoFullDuplexLowerBound(n int) int {
 	if n < 1 {
 		panic(fmt.Sprintf("bounds: STwoFullDuplexLowerBound with n=%d", n))
@@ -154,6 +168,8 @@ func STwoFullDuplexLowerBound(n int) int {
 // the smallest t satisfying t + 2·log₂(t)/log₂(1/λ) > log₂(n)/log₂(1/λ).
 // This is the explicit finite-n form of the asymptotic
 // e·log₂(n) − O(log log n) statements.
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func Theorem41LowerBound(n int, lambda float64) int {
 	if n < 2 {
 		return 0

@@ -51,6 +51,8 @@ var Families = []Family{BF, WBFDirected, WBF, DB, Kautz}
 //  3. WBF(d,D):  α = 2·log₂(d)/3, ℓ = 3/(2·log₂(d))
 //  4. DB(d,D):   α = log₂(d),    ℓ = 1/log₂(d)
 //  5. K(d,D):    α = log₂(d),    ℓ = 1/log₂(d)
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func LemmaSeparator(f Family, d int) Separator {
 	if d < 2 {
 		panic(fmt.Sprintf("bounds: LemmaSeparator needs d ≥ 2, got %d", d))
@@ -77,6 +79,8 @@ func LemmaSeparator(f Family, d int) Separator {
 //   - WBF(d,D): D + ⌊D/2⌋ ~ 1.5·log₂(n)/log₂(d)
 //   - DB(d,D): D = log₂(n)/log₂(d)
 //   - K(d,D):  D ~ log₂(n)/log₂(d)
+//
+//gossip:allowpanic domain guard: closed-form bounds run on validated parameters; a violation is a programming error
 func DiameterCoefficient(f Family, d int) float64 {
 	ld := math.Log2(float64(d))
 	switch f {

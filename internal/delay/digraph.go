@@ -128,6 +128,8 @@ func buildInterpreted(g *graph.Digraph, p *gossip.Protocol, t int) (*Digraph, er
 
 // Matrix returns the delay matrix M(λ) of Definition 3.4 as a sparse CSR
 // matrix: M[(x,y,i)][(y,z,j)] = λ^(j−i) for every delay arc.
+//
+//gossip:allowpanic domain guard: delay recurrences run on validated parameters; a violation is a programming error
 func (dg *Digraph) Matrix(lambda float64) *matrix.CSR {
 	if lambda <= 0 || lambda >= 1 {
 		panic(fmt.Sprintf("delay: Matrix needs 0 < λ < 1, got %g", lambda))
@@ -151,6 +153,8 @@ func (dg *Digraph) Norm(lambda float64) float64 {
 // entering x and one column per activation leaving x, and the full delay
 // matrix is, up to permutation, block diagonal in these blocks. By norm
 // property 8, ‖M(λ)‖ = max over x of ‖block_x(λ)‖.
+//
+//gossip:allowpanic domain guard: delay recurrences run on validated parameters; a violation is a programming error
 func (dg *Digraph) LocalBlocks(lambda float64) []*matrix.Dense {
 	if lambda <= 0 || lambda >= 1 {
 		panic(fmt.Sprintf("delay: LocalBlocks needs 0 < λ < 1, got %g", lambda))

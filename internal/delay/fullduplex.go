@@ -13,6 +13,8 @@ import (
 // opposite, so each left activation (row j, ordered by round) relates to the
 // s−1 right activations of the following rounds with entries λ, λ², …,
 // λ^(s−1) placed at columns j … j+s−2 (truncated at the boundary).
+//
+//gossip:allowpanic domain guard: delay recurrences run on validated parameters; a violation is a programming error
 func FullDuplexMx(s, t int, lambda float64) *matrix.Dense {
 	if s < 2 || t < 1 {
 		panic(fmt.Sprintf("delay: FullDuplexMx needs s ≥ 2, t ≥ 1, got s=%d t=%d", s, t))

@@ -69,6 +69,8 @@ func (lp *LocalProtocol) rAt(j int) int { return lp.R[j%len(lp.R)] }
 // DelayD returns d_{i,j} = 1 + Σ_{c=i}^{j−1} (r_c + l_{c+1}), the number of
 // rounds between the last activation of left block i and the first
 // activation of right block j (i ≤ j < i+k).
+//
+//gossip:allowpanic domain guard: delay recurrences run on validated parameters; a violation is a programming error
 func (lp *LocalProtocol) DelayD(i, j int) int {
 	k := lp.K()
 	if j < i || j >= i+k {
@@ -97,6 +99,8 @@ func geomVec(m int, lambda float64) matrix.Vector {
 // within a block by reverse round order; columns are right activations
 // ordered by block and within a block by round order. Block B_{i,j} is
 // λ^{d_{i,j}} · ℓ0_{l_i} · ℓ0_{r_j}ᵀ for i ≤ j < i+k and zero otherwise.
+//
+//gossip:allowpanic domain guard: delay recurrences run on validated parameters; a violation is a programming error
 func (lp *LocalProtocol) Mx(lambda float64, h int) *matrix.Dense {
 	k := lp.K()
 	if h < k {
@@ -128,6 +132,8 @@ func (lp *LocalProtocol) Mx(lambda float64, h int) *matrix.Dense {
 // λ^{d_{i,j}}·p_{r_j}(λ) for i ≤ j < i+k and zero otherwise. Nx represents
 // the restriction of the linear mapping of Mx(λ) to the geometric-vector
 // subspaces (Section 4).
+//
+//gossip:allowpanic domain guard: delay recurrences run on validated parameters; a violation is a programming error
 func (lp *LocalProtocol) Nx(lambda float64, h int) *matrix.Dense {
 	k := lp.K()
 	if h < k {
@@ -144,6 +150,8 @@ func (lp *LocalProtocol) Nx(lambda float64, h int) *matrix.Dense {
 
 // Ox builds the transpose-side h×h reduced matrix of Fig. 3: entry (i,j) is
 // λ^{d_{j,i}}·p_{l_j}(λ) for i−k < j ≤ i and zero otherwise.
+//
+//gossip:allowpanic domain guard: delay recurrences run on validated parameters; a violation is a programming error
 func (lp *LocalProtocol) Ox(lambda float64, h int) *matrix.Dense {
 	k := lp.K()
 	if h < k {

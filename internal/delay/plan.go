@@ -300,6 +300,7 @@ func (in *Instance) Verts() int { return in.verts }
 // Arcs returns the number of delay arcs.
 func (in *Instance) Arcs() int { return len(in.colIdx) }
 
+//gossip:allowpanic domain guard: delay recurrences run on validated parameters; a violation is a programming error
 func checkLambda(fn string, lambda float64) {
 	if lambda <= 0 || lambda >= 1 {
 		panic(fmt.Sprintf("delay: %s needs 0 < λ < 1, got %g", fn, lambda))

@@ -36,6 +36,8 @@ type ArcFilter func(from, to int32) bool
 // scenario engine parallelizes across Monte-Carlo trials, not within one
 // faulty round, and a fixed serial order is what makes the filter's PRNG
 // stream reproducible. Steady-state masked steps perform zero allocations.
+//
+//gossip:hotpath
 func (s *State) StepProgramMasked(pr *Program, i int, keep ArcFilter) {
 	s.checkProgram(pr)
 	r := pr.roundIndex(i)
@@ -101,6 +103,9 @@ func (s *State) deliverLive(srcOff, dstOff, to int32) {
 // returns the number of newly informed vertices. The filter consultation
 // order matches State.StepProgramMasked: fused ops first (both directions,
 // always), then the unfused arcs in program order.
+//
+//gossip:allowpanic pairing guard: the session layer establishes program/state compatibility
+//gossip:hotpath
 func (f *FrontierState) StepProgramMasked(pr *Program, i int, keep ArcFilter) int {
 	if pr.n != f.n {
 		panic("gossip: masked program executed on mismatched frontier")

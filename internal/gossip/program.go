@@ -297,6 +297,8 @@ func (pr *Program) roundIndex(i int) int {
 // byte-identical to Step(p.Round(i)), and the steady state performs zero
 // allocations. Out-of-schedule rounds (finite protocol past its end) are
 // no-ops, matching Step(nil).
+//
+//gossip:hotpath
 func (s *State) StepProgram(pr *Program, i int) {
 	s.checkProgram(pr)
 	r := pr.roundIndex(i)
@@ -331,6 +333,7 @@ func (s *State) StepProgram(pr *Program, i int) {
 	}
 }
 
+//gossip:allowpanic pairing guard: the session layer establishes program/state compatibility
 func (s *State) checkProgram(pr *Program) {
 	if pr.n != s.n || pr.items != s.items {
 		panic(fmt.Sprintf("gossip: program compiled for n=%d items=%d executed on state n=%d items=%d",
@@ -404,6 +407,8 @@ func (s *State) recvFrom(srcArr []uint64, pa graph.PackedArc) (gained int, becam
 // partition returns the shard plan for a worker count, computing it on
 // first use and memoizing it; concurrent sessions sharing one compiled
 // program therefore pay the partitioning cost once per (program, workers).
+//
+//gossip:allowalloc amortized: the shard plan is memoized per (program, workers) and built off the steady-state step loop
 func (pr *Program) partition(workers int) *partition {
 	if workers < 1 {
 		workers = 1
@@ -545,6 +550,9 @@ func (s *State) shardCompiled(pr *Program, part *partition, r int, phase uint8, 
 // StepProgram applies execution round i of a compiled program to the packed
 // broadcast frontier and returns the number of newly informed vertices. It
 // is byte-identical to Step(p.Round(i)).
+//
+//gossip:allowpanic pairing guard: the session layer establishes program/state compatibility
+//gossip:hotpath
 func (f *FrontierState) StepProgram(pr *Program, i int) int {
 	if pr.n != f.n {
 		panic(fmt.Sprintf("gossip: program compiled for n=%d executed on frontier n=%d", pr.n, f.n))

@@ -89,6 +89,8 @@ func (s *State) UsePool(p *Pool) { s.pool = p }
 // reuse one State through Reset instead of paying two n×words allocations
 // per run. It panics on broadcast-shaped states (items != n), whose initial
 // configuration depends on a source.
+//
+//gossip:allowpanic pairing guard: the session layer establishes program/state compatibility
 func (s *State) Reset() {
 	if s.items != s.n {
 		panic("gossip: Reset on a broadcast-shaped state")
@@ -301,6 +303,8 @@ func SimulateBroadcast(g *graph.Digraph, p *Protocol, source, maxRounds int) (Re
 // per-source stamp replaces clearing), each source's round scan bails as
 // soon as its item has certified every vertex, and a failed source aborts
 // the whole check immediately.
+//
+//gossip:allowpanic the schedule was validated when the program was compiled; an invalid one here is a bug
 func CompletionCertificate(g *graph.Digraph, p *Protocol, t int) bool {
 	pr, err := Compile(p, g.N(), 1)
 	if err != nil {

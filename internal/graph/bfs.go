@@ -10,6 +10,8 @@ func (g *Digraph) BFS(src int) []int {
 }
 
 // MultiSourceBFS returns distances from the nearest of the given sources.
+//
+//gossip:allowpanic range guard: indices come from trusted topology constructions
 func (g *Digraph) MultiSourceBFS(srcs []int) []int {
 	g.sortAdj()
 	dist := make([]int, g.n)
@@ -84,6 +86,8 @@ func (g *Digraph) Diameter() int {
 // DistBetweenSets returns min over x∈from, y∈to of dist(x,y), the quantity
 // bounded by Definition 3.5 (⟨α,ℓ⟩-separators). Returns Unreached if no
 // vertex of to is reachable from from.
+//
+//gossip:allowpanic range guard: indices come from trusted topology constructions
 func (g *Digraph) DistBetweenSets(from, to []int) int {
 	if len(from) == 0 || len(to) == 0 {
 		panic("graph: DistBetweenSets with empty set")

@@ -17,6 +17,8 @@ func (ec *EdgeColoring) NumColors() int { return len(ec.Classes) }
 // digraph with at most 2Δ−1 colors, where Δ is the undirected degree. The
 // scan order is deterministic, so protocols built from the coloring are
 // reproducible. It panics if g is not symmetric.
+//
+//gossip:allowpanic range guard: indices come from trusted topology constructions
 func GreedyEdgeColoring(g *Digraph) *EdgeColoring {
 	if !g.IsSymmetric() {
 		panic("graph: GreedyEdgeColoring requires a symmetric digraph")

@@ -37,6 +37,8 @@ type Digraph struct {
 }
 
 // New returns an empty digraph with n vertices.
+//
+//gossip:allowpanic range guard: indices come from trusted topology constructions
 func New(n int) *Digraph {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: negative vertex count %d", n))
@@ -58,6 +60,8 @@ func (g *Digraph) M() int { return len(g.arcSet) }
 // AddArc inserts the arc u→v. It panics on self-loops, out-of-range vertices
 // or duplicate arcs: topology generators are deterministic and a duplicate
 // indicates a construction bug worth failing loudly on.
+//
+//gossip:allowpanic range guard: indices come from trusted topology constructions
 func (g *Digraph) AddArc(u, v int) {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		panic(fmt.Sprintf("graph: arc (%d,%d) out of range n=%d", u, v, g.n))

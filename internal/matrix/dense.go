@@ -13,6 +13,8 @@ type Dense struct {
 }
 
 // NewDense returns a zero rows×cols matrix.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func NewDense(rows, cols int) *Dense {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
@@ -21,6 +23,8 @@ func NewDense(rows, cols int) *Dense {
 }
 
 // FromRows builds a Dense matrix from a slice of equal-length rows.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func FromRows(rows [][]float64) *Dense {
 	r := len(rows)
 	if r == 0 {
@@ -64,6 +68,7 @@ func (m *Dense) Set(i, j int, v float64) {
 	m.data[i*m.cols+j] = v
 }
 
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func (m *Dense) check(i, j int) {
 	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
 		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
@@ -110,6 +115,8 @@ func (m *Dense) Transpose() *Dense {
 }
 
 // Mul returns the matrix product m·b.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func (m *Dense) Mul(b *Dense) *Dense {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("matrix: product of %dx%d and %dx%d", m.rows, m.cols, b.rows, b.cols))
@@ -138,6 +145,8 @@ func (m *Dense) MulVec(v Vector) Vector {
 
 // MulVecTo stores m·v into dst (len dst must be m.Rows()) and returns dst —
 // the allocation-free form of MulVec.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func (m *Dense) MulVecTo(dst, v Vector) Vector {
 	if m.cols != len(v) {
 		panic(fmt.Sprintf("matrix: %dx%d times vector of length %d", m.rows, m.cols, len(v)))
@@ -164,6 +173,8 @@ func (m *Dense) TransposeMulVec(v Vector) Vector {
 // TransposeMulVecTo stores mᵀ·v into dst (len dst must be m.Cols(),
 // overwritten) and returns dst — the allocation-free form of
 // TransposeMulVec.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func (m *Dense) TransposeMulVecTo(dst, v Vector) Vector {
 	if m.rows != len(v) {
 		panic(fmt.Sprintf("matrix: %dx%d transpose times vector of length %d", m.rows, m.cols, len(v)))
@@ -214,6 +225,7 @@ func (m *Dense) Scale(a float64) *Dense {
 	return out
 }
 
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func (m *Dense) sameShape(b *Dense) {
 	if m.rows != b.rows || m.cols != b.cols {
 		panic(fmt.Sprintf("matrix: shape mismatch %dx%d vs %dx%d", m.rows, m.cols, b.rows, b.cols))

@@ -26,6 +26,8 @@ func Norm2(m *Dense) float64 {
 // vector from the scratch — repeated evaluations (the λ loops of the bound
 // root finders and the certification pipeline) perform zero steady-state
 // allocations. The result is bit-identical to Norm2.
+//
+//gossip:hotpath
 func (m *Dense) Norm2Scratch(s *NormScratch) float64 {
 	if m.Rows() == 0 || m.Cols() == 0 {
 		return 0
@@ -53,6 +55,7 @@ func (s *NormScratch) ensure(rows, cols int) (x, y, t Vector) {
 
 func growVec(v Vector, n int) Vector {
 	if cap(v) < n {
+		//gossip:allowalloc amortized: scratch grows to the high-water mark once and is reused
 		return make(Vector, n)
 	}
 	return v[:n]
@@ -107,6 +110,8 @@ func gramSpectralRadiusScratch(m vecMulOps, rows, cols int, s *NormScratch) floa
 // and the shift makes the dominant eigenvalue simple and positive).
 //
 // It panics if m is not square; callers must pass non-negative matrices.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func SpectralRadius(m *Dense) float64 {
 	n := m.Rows()
 	if n != m.Cols() {
@@ -147,6 +152,8 @@ func SpectralRadius(m *Dense) float64 {
 // non-negative m and strictly positive x.
 //
 // It panics if x has a non-positive component or the shapes mismatch.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func SemiEigenvalue(m *Dense, x Vector) float64 {
 	if m.Rows() != m.Cols() || m.Cols() != len(x) {
 		panic("matrix: SemiEigenvalue shape mismatch")
@@ -187,6 +194,8 @@ func BlockDiagNorm2(blocks []*Dense) float64 {
 // BlockDiagNorm2Scratch is BlockDiagNorm2 with every block's power iteration
 // drawing from one reusable scratch; repeated evaluations over a fixed block
 // structure perform zero steady-state allocations.
+//
+//gossip:hotpath
 func BlockDiagNorm2Scratch(blocks []*Dense, s *NormScratch) float64 {
 	var max float64
 	for _, b := range blocks {

@@ -24,6 +24,8 @@ type CSR struct {
 
 // NewCSR assembles a rows×cols CSR matrix from triplets. Duplicate (row,col)
 // entries are summed. The input slice is sorted in place.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func NewCSR(rows, cols int, ts []Triplet) *CSR {
 	for _, t := range ts {
 		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
@@ -69,6 +71,8 @@ func NewCSR(rows, cols int, ts []Triplet) *CSR {
 // fixed sparsity structure (the compiled delay plan evaluating M(λ) at many
 // λ) updates vals in place between evaluations instead of reassembling
 // triplets, so the λ loop performs zero steady-state allocations.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func NewCSRFromParts(rows, cols int, rowPtr, colIdx []int, vals []float64) *CSR {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
@@ -107,6 +111,8 @@ func (m *CSR) Cols() int { return m.cols }
 func (m *CSR) NNZ() int { return len(m.vals) }
 
 // At returns the entry at (i, j); absent entries are 0.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func (m *CSR) At(i, j int) float64 {
 	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
 		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
@@ -126,6 +132,8 @@ func (m *CSR) MulVec(v Vector) Vector {
 
 // MulVecTo stores m·v into dst (len dst must be m.Rows()) and returns dst —
 // the allocation-free form of MulVec.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func (m *CSR) MulVecTo(dst, v Vector) Vector {
 	if len(v) != m.cols {
 		panic(fmt.Sprintf("matrix: %dx%d CSR times vector of length %d", m.rows, m.cols, len(v)))
@@ -151,6 +159,8 @@ func (m *CSR) TransposeMulVec(v Vector) Vector {
 // TransposeMulVecTo stores mᵀ·v into dst (len dst must be m.Cols(),
 // overwritten) and returns dst — the allocation-free form of
 // TransposeMulVec.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func (m *CSR) TransposeMulVecTo(dst, v Vector) Vector {
 	if len(v) != m.rows {
 		panic(fmt.Sprintf("matrix: %dx%d CSR transpose times vector of length %d", m.rows, m.cols, len(v)))

@@ -37,6 +37,8 @@ func (v Vector) Clone() Vector {
 }
 
 // Dot returns the inner product of v and w. It panics if the lengths differ.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func (v Vector) Dot(w Vector) float64 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("matrix: dot of vectors with lengths %d and %d", len(v), len(w)))
@@ -93,6 +95,7 @@ func (v Vector) Scale(a float64) Vector {
 func (v Vector) Normalize() error {
 	n := v.Norm2()
 	if n == 0 {
+		//gossip:allowalloc cold error branch: only the zero vector allocates
 		return errors.New("matrix: cannot normalize zero vector")
 	}
 	v.Scale(1 / n)
@@ -100,6 +103,8 @@ func (v Vector) Normalize() error {
 }
 
 // Add returns v + w as a new vector.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func (v Vector) Add(w Vector) Vector {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("matrix: add of vectors with lengths %d and %d", len(v), len(w)))
@@ -112,6 +117,8 @@ func (v Vector) Add(w Vector) Vector {
 }
 
 // Sub returns v − w as a new vector.
+//
+//gossip:allowpanic shape guard: dimension mismatches are programming errors, not input errors
 func (v Vector) Sub(w Vector) Vector {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("matrix: sub of vectors with lengths %d and %d", len(v), len(w)))

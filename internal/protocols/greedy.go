@@ -16,6 +16,8 @@ import (
 //
 // mode must be Directed or HalfDuplex (the greedy pairing does not maintain
 // the full-duplex opposite-arc constraint; use GreedyGossipFullDuplex).
+//
+//gossip:allowpanic parameter guard: constructors run on registry-validated networks; a violation is a programming error
 func GreedyGossip(g *graph.Digraph, mode gossip.Mode, maxRounds int) (*gossip.Protocol, error) {
 	if mode == gossip.FullDuplex {
 		panic("protocols: use GreedyGossipFullDuplex for full-duplex mode")

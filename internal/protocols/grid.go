@@ -14,6 +14,8 @@ import (
 // vertical edges}, each activated bidirectionally. Gossip completes in
 // Θ(a+b) rounds, within a constant factor of the optimal systolic grid
 // protocols of [11].
+//
+//gossip:allowpanic parameter guard: constructors run on registry-validated networks; a violation is a programming error
 func GridFullDuplex(a, b int) *gossip.Protocol {
 	if a < 1 || b < 1 || a*b < 2 {
 		panic(fmt.Sprintf("protocols: GridFullDuplex needs at least 2 vertices, got %dx%d", a, b))
@@ -47,6 +49,8 @@ func GridFullDuplex(a, b int) *gossip.Protocol {
 // GridHalfDuplex returns the 8-systolic half-duplex variant: each of the
 // four edge classes is activated twice per period, once per orientation,
 // sweeping right/down first and left/up second.
+//
+//gossip:allowpanic parameter guard: constructors run on registry-validated networks; a violation is a programming error
 func GridHalfDuplex(a, b int) *gossip.Protocol {
 	if a < 1 || b < 1 || a*b < 2 {
 		panic(fmt.Sprintf("protocols: GridHalfDuplex needs at least 2 vertices, got %dx%d", a, b))
@@ -87,6 +91,8 @@ func GridHalfDuplex(a, b int) *gossip.Protocol {
 // protocols of [8]. Rounds are split by child slot and by depth parity —
 // tails sit at one parity and heads at the other, which keeps every round a
 // matching. The period is at most 4d.
+//
+//gossip:allowpanic parameter guard: constructors run on registry-validated networks; a violation is a programming error
 func TreeSweep(d, n int) *gossip.Protocol {
 	if d < 1 || n < 2 {
 		panic(fmt.Sprintf("protocols: TreeSweep needs d ≥ 1, n ≥ 2, got d=%d n=%d", d, n))

@@ -63,6 +63,8 @@ func PeriodicInterleavedHalfDuplex(g *graph.Digraph) *gossip.Protocol {
 // non-symmetric) digraph by greedily partitioning all arcs into matchings:
 // round i activates matching i mod s. Every arc is activated once per
 // period, so on a strongly connected digraph the protocol completes gossip.
+//
+//gossip:allowpanic parameter guard: constructors run on registry-validated networks; a violation is a programming error
 func RoundRobinDirected(g *graph.Digraph) *gossip.Protocol {
 	arcs := g.Arcs()
 	var rounds [][]graph.Arc
@@ -98,6 +100,8 @@ func RoundRobinDirected(g *graph.Digraph) *gossip.Protocol {
 // Orient converts a full-duplex protocol into a half-duplex one by splitting
 // every round into two: first the low→high orientations, then the opposite
 // ones. The result is 2s-systolic when the input is s-systolic.
+//
+//gossip:allowpanic parameter guard: constructors run on registry-validated networks; a violation is a programming error
 func Orient(p *gossip.Protocol) *gossip.Protocol {
 	if p.Mode != gossip.FullDuplex {
 		panic(fmt.Sprintf("protocols: Orient expects a full-duplex protocol, got %v", p.Mode))

@@ -27,6 +27,8 @@ func HypercubeExchange(D int) *gossip.Protocol {
 // power of two: round r pairs v with v XOR 2^r. It is ⌈log₂ n⌉ rounds of
 // full-duplex exchange, matching the classical optimum g(K_n) = log₂(n) for
 // even n.
+//
+//gossip:allowpanic parameter guard: constructors run on registry-validated networks; a violation is a programming error
 func CompleteDoubling(n int) *gossip.Protocol {
 	if n&(n-1) != 0 || n < 2 {
 		panic(fmt.Sprintf("protocols: CompleteDoubling needs n a power of two ≥ 2, got %d", n))
@@ -70,6 +72,8 @@ func PathZigZag(n int) *gossip.Protocol {
 // items advance at most one arc per step, so gossip needs ≥ n−1 rounds —
 // which this protocol attains up to a constant. Odd cycles are rejected:
 // the arcs of an odd directed cycle cannot be split into two matchings.
+//
+//gossip:allowpanic parameter guard: constructors run on registry-validated networks; a violation is a programming error
 func CycleTwoPhase(n int) *gossip.Protocol {
 	if n < 4 || n%2 != 0 {
 		panic(fmt.Sprintf("protocols: CycleTwoPhase needs even n ≥ 4, got %d", n))
@@ -88,6 +92,8 @@ func CycleTwoPhase(n int) *gossip.Protocol {
 // digit) — one of the natural level-synchronized butterfly schedules. For
 // d=2 a second phase pairs the "cross" neighbors, giving a 2D-systolic
 // protocol that completes gossip.
+//
+//gossip:allowpanic parameter guard: constructors run on registry-validated networks; a violation is a programming error
 func WrappedButterflyLevels(wbf *topology.WrappedButterfly) *gossip.Protocol {
 	if wbf.Directed() {
 		panic("protocols: WrappedButterflyLevels needs the undirected WBF")
@@ -119,6 +125,8 @@ func WrappedButterflyLevels(wbf *topology.WrappedButterfly) *gossip.Protocol {
 // the single out-arc that rewrites the next-level digit to x[l'] + β
 // (mod d). Each round is a perfect matching between consecutive levels, and
 // items spiral down through the wrap until gossip completes.
+//
+//gossip:allowpanic parameter guard: constructors run on registry-validated networks; a violation is a programming error
 func WrappedButterflyDirectedLevels(wbf *topology.WrappedButterfly) *gossip.Protocol {
 	if !wbf.Directed() {
 		panic("protocols: WrappedButterflyDirectedLevels needs the directed WBF")

@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzCompile feeds untrusted JSON through the Spec → Compile → Trial
+// pipeline. Properties: Compile never panics (it rejects with an error),
+// and an accepted scenario is reproducible — two trials minted with the
+// same index agree on every keep decision, and Reset rewinds exactly.
+func FuzzCompile(f *testing.F) {
+	f.Add([]byte(`{}`), 8, uint8(0))
+	f.Add([]byte(`{"Loss":0.25,"Seed":42}`), 16, uint8(3))
+	f.Add([]byte(`{"Loss":1,"ArcLoss":[{"From":0,"To":1,"Loss":0.5}]}`), 4, uint8(1))
+	f.Add([]byte(`{"Crashes":[{"Node":2,"From":1,"To":3}],"Seed":7}`), 8, uint8(9))
+	f.Add([]byte(`{"Deleted":[{"From":1,"To":0}]}`), 2, uint8(255))
+	f.Add([]byte(`{"Loss":-0.5}`), 8, uint8(0))
+	f.Add([]byte(`{"Loss":2}`), 8, uint8(0))
+	f.Add([]byte(`{"ArcLoss":[{"From":-1,"To":99}]}`), 8, uint8(0))
+	f.Add([]byte(`{"Crashes":[{"Node":99,"From":3,"To":1}]}`), 8, uint8(0))
+	f.Add([]byte(`not json at all`), 8, uint8(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, n int, trial uint8) {
+		var sp Spec
+		if err := json.Unmarshal(data, &sp); err != nil {
+			return
+		}
+		// Bound the vertex count: Compile's own validation must handle
+		// non-positive n, but giant n would just exercise the allocator.
+		if n > 1024 {
+			n %= 1024
+		}
+		c, err := Compile(&sp, n)
+		if err != nil {
+			return // rejected: the only acceptable failure mode
+		}
+		if c.N() != n {
+			t.Fatalf("compiled N = %d, want %d", c.N(), n)
+		}
+
+		probe := n
+		if probe > 8 {
+			probe = 8
+		}
+		t1 := c.Trial(int(trial))
+		t2 := c.Trial(int(trial))
+		for round := 0; round < 4; round++ {
+			t1.syncRound(round)
+			t2.syncRound(round)
+			for u := int32(0); u < int32(probe); u++ {
+				for v := int32(0); v < int32(probe); v++ {
+					if u == v {
+						continue
+					}
+					a, b := t1.keep(u, v), t2.keep(u, v)
+					if a != b {
+						t.Fatalf("trial %d round %d arc (%d,%d): keep diverged (%v vs %v)",
+							trial, round, u, v, a, b)
+					}
+				}
+			}
+		}
+
+		// Reset must rewind t1 to agree with a fresh trial from round 0.
+		t1.Reset(int(trial))
+		t3 := c.Trial(int(trial))
+		t1.syncRound(0)
+		t3.syncRound(0)
+		for u := int32(0); u < int32(probe); u++ {
+			for v := int32(0); v < int32(probe); v++ {
+				if u == v {
+					continue
+				}
+				if t1.keep(u, v) != t3.keep(u, v) {
+					t.Fatalf("trial %d: Reset did not rewind the PRNG stream at arc (%d,%d)", trial, u, v)
+				}
+			}
+		}
+	})
+}

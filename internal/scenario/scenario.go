@@ -177,6 +177,8 @@ func (t *Trial) Reset(i int) {
 
 // Step applies round i of the compiled program to st under the trial's
 // faults. Inactive scenarios delegate to the unmasked step.
+//
+//gossip:hotpath
 func (t *Trial) Step(st *gossip.State, pr *gossip.Program, i int) {
 	if !t.c.active {
 		st.StepProgram(pr, i)
@@ -188,6 +190,8 @@ func (t *Trial) Step(st *gossip.State, pr *gossip.Program, i int) {
 
 // StepFrontier applies round i to a packed broadcast frontier under the
 // trial's faults, returning the number of newly informed vertices.
+//
+//gossip:hotpath
 func (t *Trial) StepFrontier(fr *gossip.FrontierState, pr *gossip.Program, i int) int {
 	if !t.c.active {
 		return fr.StepProgram(pr, i)

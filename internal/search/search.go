@@ -26,6 +26,8 @@ const maxSearchN = 8
 // orientations activated. Only *maximal* matchings are enumerated: adding
 // an arc to a round never hurts (knowledge is monotone), so an optimal
 // schedule using a non-maximal round also exists with a maximal one.
+//
+//gossip:allowpanic size guard against exponential search blowup; the public API gates n first
 func Rounds(g *graph.Digraph, mode gossip.Mode) [][]graph.Arc {
 	if g.N() > maxSearchN {
 		panic(fmt.Sprintf("search: instance too large (n=%d > %d)", g.N(), maxSearchN))

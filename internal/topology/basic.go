@@ -16,6 +16,8 @@ func Path(n int) *graph.Digraph {
 }
 
 // Cycle returns the undirected cycle C_n (n ≥ 3) as a symmetric digraph.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func Cycle(n int) *graph.Digraph {
 	if n < 3 {
 		panic(fmt.Sprintf("topology: cycle needs n ≥ 3, got %d", n))
@@ -28,6 +30,8 @@ func Cycle(n int) *graph.Digraph {
 }
 
 // DirectedCycle returns the directed cycle on n ≥ 2 vertices.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func DirectedCycle(n int) *graph.Digraph {
 	if n < 2 {
 		panic(fmt.Sprintf("topology: directed cycle needs n ≥ 2, got %d", n))
@@ -81,6 +85,8 @@ func Grid(a, b int) *graph.Digraph {
 }
 
 // Torus returns the a×b two-dimensional torus (both a, b ≥ 3).
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func Torus(a, b int) *graph.Digraph {
 	if a < 3 || b < 3 {
 		panic(fmt.Sprintf("topology: torus needs a,b ≥ 3, got %dx%d", a, b))
@@ -97,6 +103,8 @@ func Torus(a, b int) *graph.Digraph {
 }
 
 // Hypercube returns the D-dimensional hypercube Q_D on 2^D vertices.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func Hypercube(D int) *graph.Digraph {
 	if D < 1 {
 		panic(fmt.Sprintf("topology: hypercube needs D ≥ 1, got %d", D))
@@ -117,6 +125,8 @@ func Hypercube(D int) *graph.Digraph {
 // CompleteKAryTree returns the complete d-ary tree of the given depth
 // (depth 0 is a single vertex). Vertices are numbered level by level with
 // the root at 0; the parent of vertex v > 0 is (v-1)/d.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func CompleteKAryTree(d, depth int) *graph.Digraph {
 	if d < 1 || depth < 0 {
 		panic(fmt.Sprintf("topology: bad tree parameters d=%d depth=%d", d, depth))

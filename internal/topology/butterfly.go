@@ -17,6 +17,8 @@ type Butterfly struct {
 }
 
 // NewButterfly constructs BF(d,D).
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func NewButterfly(d, D int) *Butterfly {
 	if d < 2 || D < 1 {
 		panic(fmt.Sprintf("topology: BF needs d ≥ 2, D ≥ 1, got d=%d D=%d", d, D))
@@ -39,6 +41,8 @@ func NewButterfly(d, D int) *Butterfly {
 }
 
 // ID returns the vertex id of (x, l).
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func (b *Butterfly) ID(x Word, l int) int {
 	if l < 0 || l > b.D {
 		panic(fmt.Sprintf("topology: BF level %d out of range [0,%d]", l, b.D))
@@ -74,6 +78,7 @@ func NewWrappedButterfly(d, D int) *WrappedButterfly {
 	return newWBF(d, D, false)
 }
 
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func newWBF(d, D int, directed bool) *WrappedButterfly {
 	if d < 2 || D < 2 {
 		panic(fmt.Sprintf("topology: WBF needs d ≥ 2, D ≥ 2, got d=%d D=%d", d, D))
@@ -103,6 +108,8 @@ func newWBF(d, D int, directed bool) *WrappedButterfly {
 func (w *WrappedButterfly) Directed() bool { return w.directed }
 
 // ID returns the vertex id of (x, l).
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func (w *WrappedButterfly) ID(x Word, l int) int {
 	if l < 0 || l >= w.D {
 		panic(fmt.Sprintf("topology: WBF level %d out of range [0,%d)", l, w.D))

@@ -32,6 +32,7 @@ func NewDeBruijn(d, D int) *DeBruijn {
 	return newDB(d, D, false)
 }
 
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func newDB(d, D int, directed bool) *DeBruijn {
 	if d < 2 || D < 2 {
 		panic(fmt.Sprintf("topology: DB needs d ≥ 2, D ≥ 2, got d=%d D=%d", d, D))

@@ -10,6 +10,8 @@ import (
 // 2^D vertices: exchange edges {x, x⊕1} and shuffle edges {x, rotLeft(x)}
 // (self-loops at the two constant words omitted, parallel shuffle/exchange
 // edges merged).
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func ShuffleExchange(D int) *graph.Digraph {
 	if D < 2 {
 		panic(fmt.Sprintf("topology: shuffle-exchange needs D ≥ 2, got %d", D))
@@ -33,6 +35,8 @@ func ShuffleExchange(D int) *graph.Digraph {
 // CCC returns the cube-connected-cycles network CCC(D) on D·2^D vertices:
 // vertex (w, i) has cycle edges to (w, i±1 mod D) and a cube edge to
 // (w ⊕ 2^i, i). Requires D ≥ 3 so that the cycles are simple.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func CCC(D int) *graph.Digraph {
 	if D < 3 {
 		panic(fmt.Sprintf("topology: CCC needs D ≥ 3, got %d", D))

@@ -28,6 +28,7 @@ func NewKautz(d, D int) *Kautz {
 	return newKautz(d, D, false)
 }
 
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func newKautz(d, D int, directed bool) *Kautz {
 	if d < 2 || D < 2 {
 		panic(fmt.Sprintf("topology: Kautz needs d ≥ 2, D ≥ 2, got d=%d D=%d", d, D))

@@ -19,6 +19,8 @@ import "fmt"
 type Word []int
 
 // WordValue encodes w in base d: Σ w[i]·d^i.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func WordValue(w Word, d int) int {
 	v := 0
 	for i := len(w) - 1; i >= 0; i-- {
@@ -31,6 +33,8 @@ func WordValue(w Word, d int) int {
 }
 
 // ValueWord decodes v into a D-digit base-d word.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func ValueWord(v, d, D int) Word {
 	if v < 0 {
 		panic("topology: negative word value")
@@ -68,6 +72,8 @@ func (w Word) String() string {
 
 // pow returns d^e for small non-negative integers, panicking on overflow
 // beyond the int range used by the generators.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
 func pow(d, e int) int {
 	if e < 0 {
 		panic("topology: negative exponent")

@@ -63,7 +63,7 @@ func Analyze(ctx context.Context, net *Network, p *Protocol, opts ...Option) (*R
 // certificate, keeps surfacing here as ErrIncomplete.
 func (s *Session) Analyze(ctx context.Context) (*Report, error) {
 	if s.broadcast {
-		return nil, fmt.Errorf("systolic: analyze %s: broadcast sessions produce BroadcastReports", s.net.Name)
+		return nil, fmt.Errorf("%w: analyze %s: broadcast sessions produce BroadcastReports", ErrWrongMode, s.net.Name)
 	}
 	cert, err := s.certifyGossip(ctx, "analyze", false)
 	if err != nil {

@@ -46,7 +46,7 @@ func AnalyzeBroadcast(ctx context.Context, net *Network, source int, opts ...Opt
 // as an inapplicable certificate, keeps surfacing here as ErrIncomplete.
 func (s *Session) AnalyzeBroadcast(ctx context.Context) (*BroadcastReport, error) {
 	if !s.broadcast {
-		return nil, fmt.Errorf("systolic: broadcast on %s: gossip sessions produce Reports", s.net.Name)
+		return nil, fmt.Errorf("%w: broadcast on %s: gossip sessions produce Reports", ErrWrongMode, s.net.Name)
 	}
 	cert, err := s.certifyBroadcast(ctx, "broadcast on")
 	if err != nil {
@@ -113,8 +113,8 @@ func AnalyzeBroadcastAll(ctx context.Context, net *Network, opts ...Option) (*Br
 				// The BFS schedule ran out with the frontier stalled: some
 				// vertex is unreachable from this source. Raising the budget
 				// cannot help, so this is deliberately not ErrIncomplete.
-				return nil, fmt.Errorf("systolic: broadcast-all on %s: source %d cannot reach every vertex (schedule exhausted after %d rounds)",
-					net.Name, source, rounds)
+				return nil, fmt.Errorf("%w: broadcast-all on %s from source %d (schedule exhausted after %d rounds)",
+					ErrUnreachable, net.Name, source, rounds)
 			}
 			fr.Step(p.Round(rounds))
 			rounds++

@@ -90,33 +90,33 @@ func (s *Session) Snapshot() *Checkpoint {
 // failed Restore leaves the session exactly as it was.
 func (s *Session) Restore(c *Checkpoint) error {
 	if c.Version != CheckpointVersion {
-		return fmt.Errorf("systolic: checkpoint version %d, want %d", c.Version, CheckpointVersion)
+		return fmt.Errorf("%w: version %d, want %d", ErrBadCheckpoint, c.Version, CheckpointVersion)
 	}
 	mode := checkpointModeGossip
 	if s.broadcast {
 		mode = checkpointModeBroadcast
 	}
 	if c.Mode != mode {
-		return fmt.Errorf("systolic: checkpoint is for %s, session is %s", c.Mode, mode)
+		return fmt.Errorf("%w: checkpoint is for %s, session is %s", ErrBadCheckpoint, c.Mode, mode)
 	}
 	if c.N != s.net.G.N() {
-		return fmt.Errorf("systolic: checkpoint has n=%d, network %s has n=%d", c.N, s.net.Name, s.net.G.N())
+		return fmt.Errorf("%w: checkpoint has n=%d, network %s has n=%d", ErrBadCheckpoint, c.N, s.net.Name, s.net.G.N())
 	}
 	if c.Network != s.net.Name {
-		return fmt.Errorf("systolic: checkpoint is for network %q, session runs on %q", c.Network, s.net.Name)
+		return fmt.Errorf("%w: checkpoint is for network %q, session runs on %q", ErrBadCheckpoint, c.Network, s.net.Name)
 	}
 	if s.broadcast && c.Source != s.source {
-		return fmt.Errorf("systolic: checkpoint broadcasts from %d, session from %d", c.Source, s.source)
+		return fmt.Errorf("%w: checkpoint broadcasts from %d, session from %d", ErrBadCheckpoint, c.Source, s.source)
 	}
 	if fp := s.prog.Fingerprint(); c.Protocol != fp {
-		return fmt.Errorf("systolic: checkpoint was taken under protocol %s, session runs %s", c.Protocol, fp)
+		return fmt.Errorf("%w: checkpoint was taken under protocol %s, session runs %s", ErrBadCheckpoint, c.Protocol, fp)
 	}
 	if c.Round < 0 {
-		return fmt.Errorf("systolic: checkpoint has negative round %d", c.Round)
+		return fmt.Errorf("%w: negative round %d", ErrBadCheckpoint, c.Round)
 	}
 	payload, err := base64.StdEncoding.DecodeString(c.State)
 	if err != nil {
-		return fmt.Errorf("systolic: checkpoint state: %w", err)
+		return fmt.Errorf("%w: state: %w", ErrBadCheckpoint, err)
 	}
 	// Decode into scratch backends; the session is only touched once every
 	// check below has passed.
@@ -130,26 +130,26 @@ func (s *Session) Restore(c *Checkpoint) error {
 	if s.broadcast {
 		fr = gossip.NewFrontierState(n, s.source)
 		if err := fr.Import(payload); err != nil {
-			return fmt.Errorf("systolic: checkpoint state: %w", err)
+			return fmt.Errorf("%w: state: %w", ErrBadCheckpoint, err)
 		}
 		know, complete = fr.InformedCount(), fr.Complete()
 	} else {
 		st = gossip.NewState(n)
 		if err := st.Import(payload); err != nil {
-			return fmt.Errorf("systolic: checkpoint state: %w", err)
+			return fmt.Errorf("%w: state: %w", ErrBadCheckpoint, err)
 		}
 		know, complete = st.TotalKnowledge(), st.GossipComplete()
 	}
 	if know != c.Knowledge {
-		return fmt.Errorf("systolic: checkpoint knowledge %d does not match its state (%d)", c.Knowledge, know)
+		return fmt.Errorf("%w: knowledge %d does not match its state (%d)", ErrBadCheckpoint, c.Knowledge, know)
 	}
 	if complete != c.Done {
-		return fmt.Errorf("systolic: checkpoint done=%v does not match its state", c.Done)
+		return fmt.Errorf("%w: done=%v does not match its state", ErrBadCheckpoint, c.Done)
 	}
 	// The frontier history must cover exactly the executed rounds and sum
 	// to the knowledge the state decodes to (Session.Frontier's invariant).
 	if len(c.Frontier) != c.Round {
-		return fmt.Errorf("systolic: checkpoint frontier has %d entries for %d rounds", len(c.Frontier), c.Round)
+		return fmt.Errorf("%w: frontier has %d entries for %d rounds", ErrBadCheckpoint, len(c.Frontier), c.Round)
 	}
 	initial := n // gossip: every processor starts knowing its own item
 	if s.broadcast {
@@ -160,7 +160,7 @@ func (s *Session) Restore(c *Checkpoint) error {
 		sum += gained
 	}
 	if sum != know {
-		return fmt.Errorf("systolic: checkpoint frontier sums to %d, state knows %d", sum, know)
+		return fmt.Errorf("%w: frontier sums to %d, state knows %d", ErrBadCheckpoint, sum, know)
 	}
 	if s.broadcast {
 		s.fr = fr

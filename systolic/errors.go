@@ -19,4 +19,17 @@ var (
 	// ErrIncomplete is returned when a simulation hits its round budget
 	// before dissemination completes.
 	ErrIncomplete = gossip.ErrIncomplete
+	// ErrBadCheckpoint is returned by Restore and ReadCheckpoint when a
+	// checkpoint fails validation: wrong version, wrong network or
+	// protocol, or internally inconsistent state. The wrapped text says
+	// which check failed.
+	ErrBadCheckpoint = errors.New("systolic: invalid checkpoint")
+	// ErrWrongMode is returned when a report accessor is called on a
+	// session of the other mode: Analyze on a broadcast session, or
+	// AnalyzeBroadcast on a gossip session.
+	ErrWrongMode = errors.New("systolic: wrong session mode")
+	// ErrUnreachable is returned by AnalyzeBroadcastAll when some source
+	// cannot reach every vertex, so no budget would ever complete the
+	// broadcast (deliberately distinct from ErrIncomplete).
+	ErrUnreachable = errors.New("systolic: source cannot reach every vertex")
 )

@@ -1,0 +1,55 @@
+package systolic
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestAnalyzeWrongModeSentinel: calling the gossip report accessor on a
+// broadcast session (and vice versa) is a typed error callers can dispatch
+// on, not ad-hoc text.
+func TestAnalyzeWrongModeSentinel(t *testing.T) {
+	net, p := sessionNet(t)
+	ctx := context.Background()
+
+	bsess, err := NewBroadcastEngine(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsess.Close()
+	if _, err := bsess.Analyze(ctx); !errors.Is(err, ErrWrongMode) {
+		t.Errorf("Analyze on broadcast session: err = %v, want ErrWrongMode", err)
+	}
+
+	gsess, err := NewEngine(net, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gsess.Close()
+	if _, err := gsess.AnalyzeBroadcast(ctx); !errors.Is(err, ErrWrongMode) {
+		t.Errorf("AnalyzeBroadcast on gossip session: err = %v, want ErrWrongMode", err)
+	}
+}
+
+// TestBroadcastAllUnreachableSentinel: a source that cannot inform every
+// vertex fails with ErrUnreachable, distinct from ErrIncomplete — raising
+// the budget cannot fix an unreachable vertex, and callers must be able to
+// tell the two apart.
+func TestBroadcastAllUnreachableSentinel(t *testing.T) {
+	g := graph.New(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	// Vertex 2 has no outgoing arcs: broadcasts from it stall immediately.
+	net := Plain("one-way-path", g)
+
+	_, err := AnalyzeBroadcastAll(context.Background(), net)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("broadcast-all on a one-way path: err = %v, want ErrUnreachable", err)
+	}
+	if errors.Is(err, ErrIncomplete) {
+		t.Fatal("ErrUnreachable must not alias ErrIncomplete: callers retry ErrIncomplete with a bigger budget")
+	}
+}

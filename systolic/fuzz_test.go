@@ -1,0 +1,78 @@
+package systolic
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// FuzzReadCheckpoint feeds untrusted bytes through ReadCheckpoint and, when
+// they decode, through Session.Restore. Properties: neither step panics, a
+// rejected checkpoint wraps ErrBadCheckpoint, and an accepted one leaves a
+// session that still steps and re-snapshots cleanly. The first corpus entry
+// is a genuine snapshot, so the fuzzer starts from the real schema and
+// mutates outward.
+func FuzzReadCheckpoint(f *testing.F) {
+	net, err := New("hypercube", Dimension(3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err := NewProtocol("periodic-half", net, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ctx := context.Background()
+
+	seedSess, err := NewEngine(net, p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := seedSess.Step(ctx, 2); err != nil {
+		f.Fatal(err)
+	}
+	var genuine bytes.Buffer
+	if err := WriteCheckpoint(&genuine, seedSess.Snapshot()); err != nil {
+		f.Fatal(err)
+	}
+	seedSess.Close()
+
+	f.Add(genuine.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"mode":"gossip","n":8,"round":-1}`))
+	f.Add([]byte(`{"version":1,"mode":"gossip","n":8,"state":"!!!not-base64!!!"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return // undecodable bytes are rejected at the JSON layer
+		}
+		sess, err := NewEngine(net, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		if err := sess.Restore(c); err != nil {
+			if !errors.Is(err, ErrBadCheckpoint) {
+				t.Fatalf("Restore rejection %v does not wrap ErrBadCheckpoint", err)
+			}
+			return
+		}
+		// An accepted checkpoint must leave a live session: stepping and
+		// re-snapshotting must not panic, and the round must advance.
+		before := sess.Rounds()
+		if _, err := sess.Step(ctx, 1); err != nil {
+			return // running out of schedule is a legal outcome
+		}
+		if sess.Rounds() != before+1 {
+			t.Fatalf("round count %d after stepping from restored round %d", sess.Rounds(), before)
+		}
+		var buf bytes.Buffer
+		if err := WriteCheckpoint(&buf, sess.Snapshot()); err != nil {
+			t.Fatalf("re-snapshot after restore: %v", err)
+		}
+	})
+}

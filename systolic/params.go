@@ -97,6 +97,8 @@ func (p Params) Names() []string {
 // Canonical renders the bag as comma-joined "name=value" pairs in sorted
 // name order — a stable textual identity independent of the order the
 // parameters were supplied in. It is the form RequestKey embeds.
+//
+//gossip:keywriter Params
 func (p Params) Canonical() string {
 	var sb strings.Builder
 	for i, name := range p.Names() {

@@ -53,6 +53,8 @@ var (
 // It panics on an empty name, a nil build function, or a duplicate
 // registration — registration happens at init time, and a collision is a
 // programming error that must not be silently resolved by load order.
+//
+//gossip:allowpanic init-time registration collisions are programming errors that must not be resolved by load order
 func Register(name string, b Builder) {
 	kind := strings.ToLower(strings.TrimSpace(name))
 	if kind == "" {

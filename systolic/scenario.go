@@ -67,6 +67,10 @@ func (sc *Scenario) Active() bool {
 // probabilities use the shortest round-trip representation, and list
 // order is part of the identity (it is part of the spec's semantics for
 // duplicate arc overrides).
+//
+//gossip:keywriter Scenario
+//gossip:keywriter ArcLoss
+//gossip:keywriter CrashWindow
 func (sc *Scenario) Canonical() string {
 	var sb strings.Builder
 	sb.WriteString("loss=")

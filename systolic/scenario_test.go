@@ -113,6 +113,9 @@ func TestCertifyScenarioInactiveDegenerate(t *testing.T) {
 // under the default budget, and the faulty mean must not beat the
 // fault-free measurement.
 func TestCertifyScenarioHypercubeAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-trial Monte-Carlo acceptance run; nightly CI covers it")
+	}
 	net, err := New("hypercube", Dimension(10))
 	if err != nil {
 		t.Fatal(err)

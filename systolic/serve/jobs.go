@@ -77,6 +77,7 @@ func newJobStore(spool string, max int) (*jobStore, error) {
 	return &jobStore{jobs: make(map[string]*Job), max: max, spool: spool}, nil
 }
 
+//gossip:allowpanic a failing crypto/rand is unrecoverable and job IDs must not fall back to something predictable
 func newJobID() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {

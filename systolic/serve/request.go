@@ -119,12 +119,16 @@ func normalizeParams(kind string, raw map[string]int) ([]systolic.Param, systoli
 	}
 	names := make([]string, 0, len(raw))
 	for name := range raw {
+		names = append(names, name)
+	}
+	// Validate after sorting so that a request with several unknown
+	// parameters always reports the same one (map order must not pick it).
+	sort.Strings(names)
+	for _, name := range names {
 		if paramCtors[name] == nil {
 			return nil, systolic.Params{}, badRequestf("unknown parameter %q (GET /v1/kinds lists each kind's parameters)", name)
 		}
-		names = append(names, name)
 	}
-	sort.Strings(names)
 	list := make([]systolic.Param, 0, len(names))
 	for _, name := range names {
 		list = append(list, paramCtors[name](raw[name]))
@@ -144,6 +148,8 @@ func normalizeBudget(budget int) (int, error) {
 }
 
 // normalizeAnalyze validates an analyze request and computes its cache key.
+//
+//gossip:keywriter AnalyzeRequest
 func normalizeAnalyze(req AnalyzeRequest) (normalized, error) {
 	if req.Scenario != nil {
 		return normalized{}, badRequestf("scenario blocks are only valid on /v1/certify")
@@ -178,6 +184,9 @@ func normalizeAnalyze(req AnalyzeRequest) (normalized, error) {
 // model and trial count (systolic.ScenarioKey), so scenario and plain
 // certifications can never share a cache entry. progKey is unchanged —
 // scenario runs execute the same compiled schedule.
+//
+//gossip:keywriter AnalyzeRequest
+//gossip:keywriter ScenarioRequest
 func normalizeCertify(req AnalyzeRequest) (normalized, error) {
 	plain := req
 	plain.Scenario = nil
@@ -217,6 +226,8 @@ const opBroadcastAll = "broadcast-all"
 // normalizeBroadcast validates a broadcast request and computes its cache
 // key. The source range is checked at instantiation time (the network does
 // not exist yet here); all-sources requests ignore Source.
+//
+//gossip:keywriter AnalyzeRequest
 func normalizeBroadcast(req AnalyzeRequest) (normalized, error) {
 	if req.Scenario != nil {
 		return normalized{}, badRequestf("scenario blocks are only valid on /v1/certify")
@@ -246,6 +257,9 @@ func normalizeBroadcast(req AnalyzeRequest) (normalized, error) {
 
 // normalizeSweep validates every job of a sweep grid and computes the
 // grid's cache key (job order included).
+//
+//gossip:keywriter SweepRequest
+//gossip:keywriter SweepJobRequest
 func normalizeSweep(req SweepRequest, maxJobs int) ([]systolic.SweepJob, int, string, error) {
 	if len(req.Jobs) == 0 {
 		return nil, 0, "", badRequestf("sweep requires at least one job")

@@ -1,0 +1,24 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNormalizeParamsUnknownIsDeterministic: a request carrying several
+// unknown parameters must always blame the same one. The validation used to
+// run inside the map range, so the reported name — and therefore the HTTP
+// response body — depended on map iteration order.
+func TestNormalizeParamsUnknownIsDeterministic(t *testing.T) {
+	raw := map[string]int{"zeta": 1, "alpha": 2, "mu": 3, "n": 8}
+	for i := 0; i < 50; i++ {
+		_, _, err := normalizeParams("debruijn", raw)
+		if err == nil {
+			t.Fatal("unknown parameters were accepted")
+		}
+		if !strings.Contains(err.Error(), `"alpha"`) {
+			t.Fatalf("iteration %d: error %q does not name the lexicographically first unknown parameter %q",
+				i, err, "alpha")
+		}
+	}
+}

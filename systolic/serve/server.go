@@ -107,6 +107,7 @@ type Server struct {
 var (
 	errSaturated = errors.New("serve: worker queue is full")
 	errDraining  = errors.New("serve: server is draining")
+	errNoResult  = errors.New("serve: computation finished without a result")
 )
 
 // New builds a Server. Callers mount Handler on an http.Server and should
@@ -681,7 +682,7 @@ func (s *Server) serveValue(w http.ResponseWriter, r *http.Request, key string, 
 					return
 				}
 				if !got {
-					s.writeError(w, errors.New("serve: computation finished without a result"))
+					s.writeError(w, errNoResult)
 					return
 				}
 				writeJSON(w, http.StatusOK, resultEnvelope{Key: key, Cached: false, Report: result})

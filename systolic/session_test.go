@@ -199,6 +199,8 @@ func TestSessionRestoreRejectsMismatches(t *testing.T) {
 		bad := mutate(*good)
 		if err := target.Restore(&bad); err == nil {
 			t.Errorf("%s: corrupted checkpoint was accepted", name)
+		} else if !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("%s: rejection %v does not wrap ErrBadCheckpoint", name, err)
 		}
 		// Restore is atomic: the rejected checkpoint must not have touched
 		// the session, which still runs to the untouched completion.
@@ -225,6 +227,8 @@ func TestSessionRestoreRejectsMismatches(t *testing.T) {
 	defer mismatched.Close()
 	if err := mismatched.Restore(good); err == nil {
 		t.Error("checkpoint restored under a different protocol")
+	} else if !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("protocol mismatch rejection %v does not wrap ErrBadCheckpoint", err)
 	}
 
 	// The pristine checkpoint still restores.
