@@ -15,10 +15,12 @@ import (
 )
 
 // loadtestMix is the request workload: a rotation of small, fast analyses
-// and certifications, two Monte-Carlo scenario certifications, and a
-// broadcast, so a run exercises cold simulations, the certification
-// pipeline (program + delay-plan caches), the scenario trial fan-out and
-// (heavily) the result cache/dedup path. Bodies are pre-marshaled JSON.
+// and certifications, two Monte-Carlo scenario certifications, a
+// single-source broadcast, and two broadcast scans (all sources and a
+// subset), so a run exercises cold simulations, the certification pipeline
+// (program + delay-plan caches), the scenario trial fan-out, the packed
+// scan kernel and (heavily) the result cache/dedup path. Bodies are
+// pre-marshaled JSON.
 var loadtestMix = []struct {
 	path string
 	body string
@@ -36,6 +38,8 @@ var loadtestMix = []struct {
 	{"/v1/certify", `{"kind":"debruijn","params":{"degree":2,"diameter":4},"protocol":"periodic-half","scenario":{"loss":0.05,"seed":1,"trials":16}}`},
 	{"/v1/certify", `{"kind":"hypercube","params":{"dimension":5},"protocol":"hypercube","scenario":{"loss":0.1,"seed":2,"crashes":[{"node":1,"from":0,"to":4}],"trials":16}}`},
 	{"/v1/broadcast", `{"kind":"hypercube","params":{"dimension":5},"source":0}`},
+	{"/v1/broadcast", `{"kind":"hypercube","params":{"dimension":7},"sources":{"all":true}}`},
+	{"/v1/broadcast", `{"kind":"debruijn","params":{"degree":2,"diameter":6},"sources":{"list":[0,7,31,63]}}`},
 	{"/v1/sweep", `{"jobs":[{"kind":"debruijn","params":{"degree":2,"diameter":4},"protocol":"periodic-half"},{"kind":"kautz","params":{"degree":2,"diameter":3},"protocol":"periodic-full"}]}`},
 }
 
@@ -129,6 +133,8 @@ func runLoadtest(cfg serve.Config, base string, duration time.Duration, concurre
 		fmt.Fprintf(os.Stdout, "scenarios: %d Monte-Carlo trials (%d truncated), %.0f trials/s\n",
 			snap.ScenarioTrials, snap.ScenarioTruncated,
 			float64(snap.ScenarioTrials)/duration.Seconds())
+		fmt.Fprintf(os.Stdout, "broadcast scans: %d sources measured, %.0f sources/s\n",
+			snap.BroadcastSources, float64(snap.BroadcastSources)/duration.Seconds())
 	}
 	if float64(errors) > 0.01*float64(total) {
 		return fmt.Errorf("loadtest: %d/%d requests failed", errors, total)

@@ -3,9 +3,12 @@ package systolic
 import (
 	"context"
 	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/gossip"
-	"repro/internal/protocols"
+	"repro/internal/graph"
 )
 
 // BroadcastReport compares a measured broadcast time against the
@@ -70,74 +73,338 @@ func (r *BroadcastReport) String() string {
 		r.Network, r.Source, r.Measured, r.CBound, r.C)
 }
 
-// BroadcastAllReport is the outcome of measuring the BFS-tree broadcast
-// time from every source of a network: the per-source round counts plus the
-// extremes. max_rounds over all sources is the broadcast time b(G) of the
-// paper's Section 6. It is JSON-serializable.
+// RoundsBucket is one bucket of the per-source rounds histogram: Count
+// sources complete in exactly Rounds rounds.
+type RoundsBucket struct {
+	Rounds int `json:"rounds"`
+	Count  int `json:"count"`
+}
+
+// BroadcastAllReport is the outcome of measuring the flooding broadcast
+// time from a set of sources (every vertex unless WithSources restricts
+// the scan): the per-source round counts plus the extremes and summary
+// statistics. Under flooding — every informed vertex informs all its
+// out-neighbors each round, the schedule the packed 64-source kernel steps
+// — the time from source v is exactly v's directed eccentricity, so
+// max_rounds over all sources is the network's flooding broadcast time
+// b(G) (the diameter), and the statistics are the network's eccentricity
+// profile. It is JSON-serializable.
 type BroadcastAllReport struct {
 	Network string `json:"network"`
-	// Rounds[v] is the measured broadcast time from source v.
+	// Sources lists the scanned sources when the scan was restricted with
+	// WithSources; nil (omitted) means every vertex was scanned and
+	// Rounds[v] belongs to source v.
+	Sources []int `json:"sources,omitempty"`
+	// Rounds[i] is the measured broadcast time from the i-th scanned
+	// source (vertex i on a full scan, Sources[i] on a subset scan).
 	Rounds []int `json:"rounds_by_source"`
-	// Worst and WorstSource locate b(G) = max over sources; Best and
-	// BestSource the cheapest source.
+	// Worst and WorstSource locate b(G) = max over the scanned sources;
+	// Best and BestSource the cheapest source. The source fields hold
+	// vertex ids, also on subset scans.
 	Worst       int `json:"worst_rounds"`
 	WorstSource int `json:"worst_source"`
 	Best        int `json:"best_rounds"`
 	BestSource  int `json:"best_source"`
+	// MeanRounds and Histogram summarize the per-source eccentricity
+	// profile: the mean broadcast time over the scanned sources and the
+	// count of sources per distinct round value, ascending.
+	MeanRounds float64        `json:"mean_rounds"`
+	Histogram  []RoundsBucket `json:"rounds_histogram"`
 }
 
-// AnalyzeBroadcastAll measures the BFS-tree broadcast time from every
-// source of the network. The whole scan reuses one packed frontier — each
-// source resets it in place (FrontierState.Reset) instead of reallocating
-// two bitsets per source — so the per-source cost is the simulation alone.
-// The context is checked between sources; a source that exceeds the
-// WithRoundBudget cap aborts the scan with ErrIncomplete.
+// AnalyzeBroadcastAll measures the flooding broadcast time from every
+// source of the network (or the WithSources subset) in one scan.
+//
+// Flooding is source-independent — the same "every arc, every round"
+// schedule serves all sources — so it lowers once (graph.LowerFlood) into
+// a destination-major CSR, and the scan packs up to 64 sources into the 64
+// bits of each knowledge word and steps them simultaneously through the
+// compiled schedule (gossip.PackedFrontier): ⌈sources/64⌉ passes replace
+// the per-source loop, batches run in parallel across WithWorkers workers,
+// and per-bit completion tracking recovers every source's exact round
+// count. WithScalarScan forces the scalar per-source reference kernel,
+// which produces byte-identical reports and errors.
+//
+// Note this deliberately measures a different schedule than the
+// single-source AnalyzeBroadcast, which builds a per-source BFS-tree
+// whispering schedule (one call per informed vertex per round): the
+// whispering time upper-bounds b(G, v), while the flooding time here is
+// exactly the eccentricity floor the Section 6 certification compares
+// against — and, unlike per-source tree schedules, it is shareable across
+// lanes. A source that exceeds the WithRoundBudget cap aborts the scan
+// with ErrIncomplete; a source that cannot reach every vertex aborts it
+// with ErrUnreachable (raising the budget cannot help).
 func AnalyzeBroadcastAll(ctx context.Context, net *Network, opts ...Option) (*BroadcastAllReport, error) {
 	cfg := newConfig(opts)
-	n := net.G.N()
-	rep := &BroadcastAllReport{Network: net.Name, Rounds: make([]int, n)}
-	fr := gossip.NewFrontierState(n, 0)
-	for source := 0; source < n; source++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("systolic: broadcast-all on %s: %w", net.Name, err)
-		}
-		fr.Reset(source)
-		p := protocols.BroadcastSchedule(net.G, source)
-		rounds := 0
-		for !fr.Complete() {
-			if rounds >= cfg.budget {
-				return nil, fmt.Errorf("systolic: broadcast-all on %s from %d: %w (budget %d)",
-					net.Name, source, ErrIncomplete, cfg.budget)
-			}
-			if rounds >= p.Len() {
-				// The BFS schedule ran out with the frontier stalled: some
-				// vertex is unreachable from this source. Raising the budget
-				// cannot help, so this is deliberately not ErrIncomplete.
-				return nil, fmt.Errorf("%w: broadcast-all on %s from source %d (schedule exhausted after %d rounds)",
-					ErrUnreachable, net.Name, source, rounds)
-			}
-			fr.Step(p.Round(rounds))
-			rounds++
-			if cfg.observer != nil {
-				cfg.observer.Round(rounds, fr.InformedCount(), n)
-			}
-		}
-		rep.Rounds[source] = rounds
+	sources, explicit, err := scanSources(net, cfg.sources)
+	if err != nil {
+		return nil, err
 	}
-	rep.Best, rep.Worst = rep.Rounds[0], rep.Rounds[0]
-	for v, r := range rep.Rounds {
-		if r > rep.Worst {
-			rep.Worst, rep.WorstSource = r, v
-		}
-		if r < rep.Best {
-			rep.Best, rep.BestSource = r, v
-		}
+	rep := &BroadcastAllReport{Network: net.Name, Rounds: make([]int, len(sources))}
+	if explicit {
+		rep.Sources = sources
 	}
+	flood := net.G.LowerFlood()
+	if cfg.scalarScan {
+		err = scalarScan(ctx, net, flood, sources, rep.Rounds, cfg)
+	} else {
+		err = packedScan(ctx, net, flood, sources, rep.Rounds, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.summarize(sources)
 	return rep, nil
+}
+
+// scanSources resolves the scan's source list: every vertex when sources
+// is nil, otherwise a validated copy of the subset (in caller order).
+func scanSources(net *Network, sources []int) (list []int, explicit bool, err error) {
+	n := net.G.N()
+	if sources == nil {
+		list = make([]int, n)
+		for v := range list {
+			list[v] = v
+		}
+		return list, false, nil
+	}
+	if len(sources) == 0 {
+		return nil, false, fmt.Errorf("systolic: broadcast-all on %s: %w: empty source list (omit WithSources to scan every vertex)",
+			net.Name, ErrBadParam)
+	}
+	list = make([]int, len(sources))
+	seen := make(map[int]bool, len(sources))
+	for i, s := range sources {
+		if s < 0 || s >= n {
+			return nil, false, fmt.Errorf("systolic: broadcast-all on %s: %w: source %d outside [0, %d)",
+				net.Name, ErrBadParam, s, n)
+		}
+		if seen[s] {
+			return nil, false, fmt.Errorf("systolic: broadcast-all on %s: %w: duplicate source %d",
+				net.Name, ErrBadParam, s)
+		}
+		seen[s] = true
+		list[i] = s
+	}
+	return list, true, nil
+}
+
+// summarize fills the extremes and the eccentricity statistics from the
+// measured rounds. Ties keep the earliest scanned source, so reports are
+// independent of the kernel and worker count.
+func (r *BroadcastAllReport) summarize(sources []int) {
+	r.Best, r.Worst = r.Rounds[0], r.Rounds[0]
+	r.BestSource, r.WorstSource = sources[0], sources[0]
+	sum := 0
+	for i, rounds := range r.Rounds {
+		sum += rounds
+		if rounds > r.Worst {
+			r.Worst, r.WorstSource = rounds, sources[i]
+		}
+		if rounds < r.Best {
+			r.Best, r.BestSource = rounds, sources[i]
+		}
+	}
+	r.MeanRounds = float64(sum) / float64(len(r.Rounds))
+	counts := make([]int, r.Worst+1)
+	for _, rounds := range r.Rounds {
+		counts[rounds]++
+	}
+	for rounds, count := range counts {
+		if count > 0 {
+			r.Histogram = append(r.Histogram, RoundsBucket{Rounds: rounds, Count: count})
+		}
+	}
+}
+
+// The scan error constructors are shared by both kernels, so the packed
+// engine is pinned error-equal — not just errors.Is-equal — to the scalar
+// reference.
+
+func errScanCtx(net *Network, err error) error {
+	return fmt.Errorf("systolic: broadcast-all on %s: %w", net.Name, err)
+}
+
+func errScanIncomplete(net *Network, source, budget int) error {
+	return fmt.Errorf("systolic: broadcast-all on %s from %d: %w (budget %d)",
+		net.Name, source, ErrIncomplete, budget)
+}
+
+func errScanUnreachable(net *Network, source, rounds int) error {
+	// Raising the budget cannot help a stalled frontier, so this is
+	// deliberately not ErrIncomplete.
+	return fmt.Errorf("%w: broadcast-all on %s from source %d (frontier stalled after %d rounds)",
+		ErrUnreachable, net.Name, source, rounds)
+}
+
+// scalarScan is the per-source reference kernel: one 1-bit frontier,
+// reset in place per source, stepped over the flooding round. It defines
+// the scan's semantics; the packed kernel must match it byte for byte.
+func scalarScan(ctx context.Context, net *Network, flood *graph.FloodCSR, sources, rounds []int, cfg config) error {
+	n := net.G.N()
+	round := flood.Arcs()
+	fr := gossip.NewFrontierState(n, 0)
+	so, _ := cfg.observer.(ScanObserver)
+	batchCols := 0 // informed columns of the current batch's finished lanes
+	for i, src := range sources {
+		if err := ctx.Err(); err != nil {
+			return errScanCtx(net, err)
+		}
+		batch, lane := i/gossip.PackedLanes, i%gossip.PackedLanes
+		if lane == 0 {
+			batchCols = 0
+		}
+		lanes := len(sources) - batch*gossip.PackedLanes
+		if lanes > gossip.PackedLanes {
+			lanes = gossip.PackedLanes
+		}
+		fr.Reset(src)
+		r := 0
+		for !fr.Complete() {
+			if r >= cfg.budget {
+				return errScanIncomplete(net, src, cfg.budget)
+			}
+			if fr.Step(round) == 0 {
+				return errScanUnreachable(net, src, r)
+			}
+			r++
+			if cfg.observer != nil {
+				// Untouched lanes contribute their informed source; the
+				// column total matches the packed kernel's when the batch
+				// finishes.
+				cols := batchCols + fr.InformedCount() + (lanes - lane - 1)
+				if so != nil {
+					so.ScanRound(batch, r, cols, lanes*n)
+				} else {
+					cfg.observer.Round(r, cols, lanes*n)
+				}
+			}
+		}
+		rounds[i] = r
+		batchCols += fr.InformedCount()
+	}
+	return nil
+}
+
+// packedScan is the bit-parallel kernel: ⌈sources/64⌉ batches, each
+// stepped through the lowered flooding schedule with 64 sources per pass,
+// sharded across the worker pool (batches are independent, so reports are
+// byte-identical for every worker count).
+func packedScan(ctx context.Context, net *Network, flood *graph.FloodCSR, sources, rounds []int, cfg config) error {
+	batches := (len(sources) + gossip.PackedLanes - 1) / gossip.PackedLanes
+	workers := cfg.workers
+	if workers > batches {
+		workers = batches
+	}
+	if workers <= 1 {
+		pf := gossip.NewPackedFrontier(net.G.N())
+		for b := 0; b < batches; b++ {
+			if err := packedBatch(ctx, net, flood, pf, sources, rounds, b, cfg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, batches)
+	var next, failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pf := gossip.NewPackedFrontier(net.G.N())
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= batches {
+					return
+				}
+				// Batches are claimed in order, so skipping the tail after
+				// a failure can never skip a batch before the failing one:
+				// the error that surfaces is still the scan-order first.
+				if failed.Load() != 0 {
+					return
+				}
+				if errs[b] = packedBatch(ctx, net, flood, pf, sources, rounds, b, cfg); errs[b] != nil {
+					failed.Store(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// packedBatch steps one batch of up to 64 sources to per-lane completion,
+// stall, or the round budget, reproducing the scalar kernel's per-source
+// outcomes exactly: a lane completing within the budget records its round,
+// and the first failing lane (in scan order) aborts with the same error
+// the scalar scan would have produced for that source.
+func packedBatch(ctx context.Context, net *Network, flood *graph.FloodCSR, pf *gossip.PackedFrontier, sources, rounds []int, b int, cfg config) error {
+	n := net.G.N()
+	lo := b * gossip.PackedLanes
+	hi := lo + gossip.PackedLanes
+	if hi > len(sources) {
+		hi = len(sources)
+	}
+	batch := sources[lo:hi]
+	if n == 1 {
+		// Already complete at round 0; the step loop only observes
+		// completion after a round.
+		for i := range batch {
+			rounds[lo+i] = 0
+		}
+		return nil
+	}
+	pf.Reset(batch)
+	so, _ := cfg.observer.(ScanObserver)
+	var done, stalled uint64
+	var stallRound [gossip.PackedLanes]int
+	remaining := pf.Full()
+	for r := 1; remaining != 0 && r <= cfg.budget; r++ {
+		if err := ctx.Err(); err != nil {
+			return errScanCtx(net, err)
+		}
+		complete, changed, informed := pf.StepFlood(flood)
+		for m := complete &^ done; m != 0; m &= m - 1 {
+			rounds[lo+bits.TrailingZeros64(m)] = r
+		}
+		done |= complete
+		newlyStalled := remaining &^ (changed | complete)
+		for m := newlyStalled; m != 0; m &= m - 1 {
+			// The stalling step gained nothing, so the scalar kernel
+			// reports one fewer productive round.
+			stallRound[bits.TrailingZeros64(m)] = r - 1
+		}
+		stalled |= newlyStalled
+		remaining &^= complete | newlyStalled
+		if cfg.observer != nil {
+			if so != nil {
+				so.ScanRound(b, r, informed, pf.Lanes()*n)
+			} else {
+				cfg.observer.Round(r, informed, pf.Lanes()*n)
+			}
+		}
+	}
+	for i := range batch {
+		bit := uint64(1) << i
+		switch {
+		case done&bit != 0:
+		case stalled&bit != 0:
+			return errScanUnreachable(net, batch[i], stallRound[i])
+		default:
+			return errScanIncomplete(net, batch[i], cfg.budget)
+		}
+	}
+	return nil
 }
 
 // String renders the report.
 func (r *BroadcastAllReport) String() string {
-	return fmt.Sprintf("%s: b(G) = %d rounds (worst source %d, best %d from %d over %d sources)",
-		r.Network, r.Worst, r.WorstSource, r.Best, r.BestSource, len(r.Rounds))
+	return fmt.Sprintf("%s: b(G) = %d rounds (worst source %d, best %d from %d, mean %.2f over %d sources)",
+		r.Network, r.Worst, r.WorstSource, r.Best, r.BestSource, r.MeanRounds, len(r.Rounds))
 }

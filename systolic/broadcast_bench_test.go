@@ -1,0 +1,59 @@
+package systolic
+
+import (
+	"context"
+	"testing"
+)
+
+// The broadcast-scan benchmarks compare the bit-parallel packed kernel
+// against the scalar per-source reference on the acceptance workloads:
+// a full hypercube d=12 scan (4096 sources, 64 batches) and a 64-source
+// subset of hypercube d=16 (65536 vertices, one batch). Workers are pinned
+// at 4 so the allocation counts the CI gate pins do not depend on the
+// benchmark machine's GOMAXPROCS.
+
+func benchScan(b *testing.B, dim int, sources []int, opts ...Option) {
+	b.Helper()
+	net, err := New("hypercube", Dimension(dim))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts = append(opts, WithWorkers(4))
+	if sources != nil {
+		opts = append(opts, WithSources(sources))
+	}
+	ctx := context.Background()
+	rep, err := AnalyzeBroadcastAll(ctx, net, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Worst != dim || rep.Best != dim {
+		b.Fatalf("hypercube d=%d scan measured worst %d best %d, want the diameter", dim, rep.Worst, rep.Best)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeBroadcastAll(ctx, net, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// subset64 spreads 64 sources across n vertices.
+func subset64(n int) []int {
+	sources := make([]int, 64)
+	for i := range sources {
+		sources[i] = i * (n / 64)
+	}
+	return sources
+}
+
+func BenchmarkBroadcastAllPacked(b *testing.B) { benchScan(b, 12, nil) }
+
+func BenchmarkBroadcastAllScalar(b *testing.B) { benchScan(b, 12, nil, WithScalarScan()) }
+
+func BenchmarkBroadcastAllPackedD16(b *testing.B) { benchScan(b, 16, subset64(1<<16)) }
+
+func BenchmarkBroadcastAllScalarD16(b *testing.B) {
+	benchScan(b, 16, subset64(1<<16), WithScalarScan())
+}

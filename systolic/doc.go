@@ -83,6 +83,9 @@
 // keys for grids), with the guarantee that equal keys produce identical
 // reports. The repro/systolic/serve package (cmd/gossipd) builds its result
 // cache and request deduplication on exactly this. AnalyzeBroadcastAll
-// measures the broadcast time from every source in one scan, reusing a
-// single packed frontier.
+// measures the flooding broadcast time — the source's directed
+// eccentricity — from every source (or a WithSources subset) in one scan:
+// flooding is source-independent, so the schedule lowers once and the
+// bit-parallel kernel steps 64 sources per pass through it, one bit per
+// (vertex, source) pair.
 package systolic

@@ -1,6 +1,7 @@
 package systolic
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"os"
@@ -85,6 +86,52 @@ func TestSweepResultJSONGolden(t *testing.T) {
 	}
 	if string(got) != string(want) {
 		t.Errorf("SweepResult JSON schema drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestBroadcastAllReportJSONGolden pins the wire schema of the
+// sources-aware scan report. Back-compat contract: the fields that predate
+// WithSources (network, rounds_by_source, worst/best pairs) keep their
+// names and order, the sources field is omitted on full scans, and the
+// statistics fields extend the object rather than reshaping it.
+func TestBroadcastAllReportJSONGolden(t *testing.T) {
+	rep := &BroadcastAllReport{
+		Network:     "HC(4)",
+		Sources:     []int{0, 5, 9},
+		Rounds:      []int{4, 4, 5},
+		Worst:       5,
+		WorstSource: 9,
+		Best:        4,
+		BestSource:  0,
+		MeanRounds:  4.3333,
+		Histogram:   []RoundsBucket{{Rounds: 4, Count: 2}, {Rounds: 5, Count: 1}},
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "broadcastall.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("BroadcastAllReport JSON schema drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// A full scan omits the sources field entirely.
+	data, err := json.Marshal(&BroadcastAllReport{Network: "x", Rounds: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"sources"`)) {
+		t.Errorf("full-scan report leaked a sources field: %s", data)
 	}
 }
 

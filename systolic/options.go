@@ -23,12 +23,32 @@ type ObserverFunc func(round, knowledge, target int)
 // Round implements Observer.
 func (f ObserverFunc) Round(round, knowledge, target int) { f(round, knowledge, target) }
 
+// ScanObserver is the trace seam of multi-source broadcast scans. A plain
+// Observer cannot interpret AnalyzeBroadcastAll progress — its Round
+// carries no source identity, and a packed scan steps 64 sources per
+// round — so an observer that additionally implements ScanObserver
+// receives ScanRound instead of Round: the 0-based batch of up to 64
+// sources being stepped, the 1-based round within that batch, and the
+// batch's informed column count (the number of (vertex, source) pairs
+// already informed, out of totalColumns = active sources × n). Columns are
+// monotone within a batch and reach totalColumns when every source of the
+// batch completes; the packed kernel emits each (batch, round) once, while
+// the scalar reference kernel re-emits a batch's rounds as it advances the
+// batch lane by lane. Scans may step batches concurrently (WithWorkers),
+// so implementations must be safe for concurrent use.
+type ScanObserver interface {
+	Observer
+	ScanRound(batch, round, informedColumns, totalColumns int)
+}
+
 type config struct {
 	budget         int
 	observer       Observer
 	workers        int
 	shardThreshold int
 	delayPlan      *DelayPlan
+	sources        []int
+	scalarScan     bool
 }
 
 func newConfig(opts []Option) config {
@@ -75,6 +95,22 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // Results are byte-identical to serial either way; lower it only to force
 // sharding on small instances (tests do).
 func WithShardThreshold(n int) Option { return func(c *config) { c.shardThreshold = n } }
+
+// WithSources restricts AnalyzeBroadcastAll to the given source vertices,
+// in the given order: the report's Rounds[i] measures Sources[i], and the
+// extremes and statistics cover only the subset. Sources must be in range
+// and free of duplicates (ErrBadParam otherwise); nil — or not passing the
+// option — scans every vertex. A subset scan equals the corresponding
+// rows of a full scan, and is the seam source-sharded cluster scans
+// partition on.
+func WithSources(sources []int) Option { return func(c *config) { c.sources = sources } }
+
+// WithScalarScan forces AnalyzeBroadcastAll onto the per-source scalar
+// frontier kernel instead of the bit-parallel packed kernel — the
+// reference implementation the packed engine is differentially tested and
+// benchmarked against. Reports and errors are identical either way; only
+// the speed differs (the packed kernel steps 64 sources per pass).
+func WithScalarScan() Option { return func(c *config) { c.scalarScan = true } }
 
 // WithDelayPlan hands Certify a pre-compiled delay lowering
 // (CompileDelayPlan / Program.DelayPlan) so repeated certifications of the

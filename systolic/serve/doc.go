@@ -122,14 +122,30 @@
 // The gossipd_scenario_trials_total / _truncated_total counters on
 // /metrics expose trial volume.
 //
-// POST /v1/broadcast — measure the BFS-tree broadcast time:
+// POST /v1/broadcast — measure broadcast times. A single-source request
+// simulates the BFS-tree whispering schedule from that source:
 //
 //	{"kind": "hypercube", "params": {"dimension": 6}, "source": 0}
 //
-// responds with a systolic.BroadcastReport envelope. With
-// "all_sources": true the scan measures every source (reusing one packed
-// frontier through FrontierState.Reset) and the report is a
-// systolic.BroadcastAllReport.
+// and responds with a systolic.BroadcastReport envelope. A request
+// carrying a sources block instead runs a flooding scan — the bit-parallel
+// kernel steps up to 64 sources at once through the network's one shared
+// flooding schedule, so each measured time is the source's directed
+// eccentricity — and responds with a systolic.BroadcastAllReport:
+//
+//	{"kind": "hypercube", "params": {"dimension": 6},
+//	 "sources": {"all": true}}
+//	{"kind": "hypercube", "params": {"dimension": 6},
+//	 "sources": {"list": [0, 5, 9]}}
+//
+// Exactly one of "all" and "list" must be set; the list is canonicalized
+// (sorted, deduplicated) before scanning and keying, and the report's
+// "sources" field echoes the canonical form ("rounds_by_source" aligns
+// with it). The older "all_sources": true boolean is deprecated but still
+// accepted: it canonicalizes to {"sources": {"all": true}} — same
+// behavior, same cache key — so results cached before the sources block
+// existed keep replaying. The gossipd_broadcast_sources_total counter on
+// /metrics tracks how many sources the scans have measured.
 //
 // POST /v1/sweep — a grid of analyze jobs:
 //

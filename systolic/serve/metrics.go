@@ -32,6 +32,8 @@ type Metrics struct {
 
 	scenarioTrials    atomic.Int64 // Monte-Carlo scenario trials executed
 	scenarioTruncated atomic.Int64 // scenario trials censored at their round budget
+
+	broadcastSources atomic.Int64 // sources measured by broadcast scans
 }
 
 func newMetrics() *Metrics {
@@ -68,6 +70,8 @@ type Snapshot struct {
 
 	ScenarioTrials    int64 `json:"scenario_trials"`
 	ScenarioTruncated int64 `json:"scenario_trials_truncated"`
+
+	BroadcastSources int64 `json:"broadcast_sources"`
 }
 
 // HitRatio returns cache hits over cache-answerable lookups, 0 when none
@@ -101,6 +105,8 @@ func (m *Metrics) Snapshot() Snapshot {
 
 		ScenarioTrials:    m.scenarioTrials.Load(),
 		ScenarioTruncated: m.scenarioTruncated.Load(),
+
+		BroadcastSources: m.broadcastSources.Load(),
 	}
 	m.mu.Lock()
 	for ep, c := range m.requests {
@@ -143,6 +149,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("gossipd_jobs_done_total", "Async jobs that reached a terminal status.", s.JobsDone)
 	counter("gossipd_scenario_trials_total", "Monte-Carlo scenario trials executed.", s.ScenarioTrials)
 	counter("gossipd_scenario_trials_truncated_total", "Scenario trials censored at their round budget.", s.ScenarioTruncated)
+	counter("gossipd_broadcast_sources_total", "Sources measured by all-sources/subset broadcast scans.", s.BroadcastSources)
 	gauge("gossipd_inflight_sessions", "Computations currently holding a worker.", s.Inflight)
 	gauge("gossipd_queue_depth", "Computations waiting for a worker.", s.Queued)
 	fmt.Fprintf(w, "# HELP gossipd_cache_hit_ratio Cache hits over cache lookups.\n")

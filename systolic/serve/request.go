@@ -3,6 +3,8 @@ package serve
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/systolic"
 )
@@ -22,11 +24,32 @@ type AnalyzeRequest struct {
 	Source int `json:"source,omitempty"`
 	// AllSources measures the broadcast time from every source instead of
 	// one (broadcast only); the response is a BroadcastAllReport.
+	//
+	// Deprecated: AllSources is the pre-subset form of the Sources block
+	// and canonicalizes identically to {"sources": {"all": true}} — same
+	// behavior, same cache key. New clients should send Sources.
 	AllSources bool `json:"all_sources,omitempty"`
+	// Sources selects the broadcast scan's sources (broadcast only): all
+	// of them, or an explicit vertex list. The response is a
+	// BroadcastAllReport either way.
+	Sources *SourcesSpec `json:"sources,omitempty"`
 	// Scenario switches a certify request into a Monte-Carlo scenario
 	// certification (certify only): the response is a
 	// systolic.StatisticalCertificate instead of a Certificate.
 	Scenario *ScenarioRequest `json:"scenario,omitempty"`
+}
+
+// SourcesSpec is the wire form of the broadcast sources block: exactly one
+// of All and List must be set. The list is canonicalized — sorted,
+// deduplicated — before keying and scanning, so the report's sources field
+// comes back sorted regardless of request order.
+type SourcesSpec struct {
+	// All scans every vertex (the canonical form of the deprecated
+	// all_sources field).
+	All bool `json:"all,omitempty"`
+	// List scans exactly these vertices; the report's rounds_by_source
+	// aligns with its canonicalized (sorted) form.
+	List []int `json:"list,omitempty"`
 }
 
 // ScenarioRequest is the wire form of the certify scenario block: the
@@ -99,6 +122,10 @@ type normalized struct {
 	// scenario and trials are set only for scenario certifications.
 	scenario *systolic.Scenario
 	trials   int
+	// allSources / sourceList describe a broadcast scan: every vertex, or
+	// the canonicalized (sorted, deduplicated) subset.
+	allSources bool
+	sourceList []int
 }
 
 // opProgram keys compiled programs in the program cache: the same
@@ -219,15 +246,69 @@ func normalizeCertify(req AnalyzeRequest) (normalized, error) {
 	return n, nil
 }
 
-// opBroadcastAll keys all-sources broadcast scans apart from single-source
-// broadcasts in the result cache.
+// opBroadcastAll keys broadcast scans (all-sources and subsets) apart from
+// single-source broadcasts in the result cache. A full scan keys exactly
+// as it always has; a subset scan appends a "|sources=..." fragment, so
+// subset keys can never collide with keys already cached (or spooled) by
+// older clients, and no RequestKey ever contains the fragment.
 const opBroadcastAll = "broadcast-all"
 
+// sourcesFragment renders the canonical subset fragment appended to an
+// opBroadcastAll key.
+func sourcesFragment(list []int) string {
+	var sb strings.Builder
+	sb.WriteString("|sources=")
+	for i, s := range list {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(s))
+	}
+	return sb.String()
+}
+
+// normalizeSources canonicalizes the scan selector: the deprecated
+// all_sources boolean folds into the structured block, and an explicit
+// list is validated (non-negative, non-empty), sorted and deduplicated.
+// The vertex-range check happens at instantiation time (the network does
+// not exist yet here).
+func normalizeSources(req AnalyzeRequest) (all bool, list []int, err error) {
+	spec := req.Sources
+	if req.AllSources {
+		if spec != nil {
+			return false, nil, badRequestf("use either the deprecated all_sources or the sources block, not both")
+		}
+		spec = &SourcesSpec{All: true}
+	}
+	switch {
+	case spec == nil:
+		return false, nil, nil
+	case spec.All && len(spec.List) > 0:
+		return false, nil, badRequestf("sources block must set all or list, not both")
+	case spec.All:
+		return true, nil, nil
+	case len(spec.List) == 0:
+		return false, nil, badRequestf(`sources block must set "all": true or a non-empty "list"`)
+	}
+	list = append([]int(nil), spec.List...)
+	sort.Ints(list)
+	out := list[:0]
+	for i, s := range list {
+		if s < 0 {
+			return false, nil, badRequestf("sources list entries must be non-negative, got %d", s)
+		}
+		if i == 0 || s != list[i-1] {
+			out = append(out, s)
+		}
+	}
+	return false, out, nil
+}
+
 // normalizeBroadcast validates a broadcast request and computes its cache
-// key. The source range is checked at instantiation time (the network does
-// not exist yet here); all-sources requests ignore Source.
+// key. Scan requests (all sources or a subset) ignore Source.
 //
 //gossip:keywriter AnalyzeRequest
+//gossip:keywriter SourcesSpec
 func normalizeBroadcast(req AnalyzeRequest) (normalized, error) {
 	if req.Scenario != nil {
 		return normalized{}, badRequestf("scenario blocks are only valid on /v1/certify")
@@ -237,21 +318,32 @@ func normalizeBroadcast(req AnalyzeRequest) (normalized, error) {
 		return normalized{}, err
 	}
 	if req.Protocol != "" {
-		return normalized{}, badRequestf("broadcast builds its own BFS schedule; drop the protocol field")
+		return normalized{}, badRequestf("broadcast builds its own schedule; drop the protocol field")
 	}
 	budget, err := normalizeBudget(req.Budget)
 	if err != nil {
 		return normalized{}, err
 	}
 	n := normalized{kind: req.Kind, paramList: list, params: params, budget: budget, source: req.Source}
-	op := systolic.OpBroadcast
-	if req.AllSources {
-		op = opBroadcastAll
-		n.source = systolic.NoSource
-	} else if req.Source < 0 {
-		return normalized{}, badRequestf("broadcast source must be non-negative, got %d", req.Source)
+	all, srcList, err := normalizeSources(req)
+	if err != nil {
+		return normalized{}, err
 	}
-	n.key = systolic.RequestKey(op, n.kind, n.params, "", n.budget, n.source)
+	switch {
+	case all:
+		n.allSources = true
+		n.source = systolic.NoSource
+		n.key = systolic.RequestKey(opBroadcastAll, n.kind, n.params, "", n.budget, n.source)
+	case srcList != nil:
+		n.sourceList = srcList
+		n.source = systolic.NoSource
+		n.key = systolic.RequestKey(opBroadcastAll, n.kind, n.params, "", n.budget, n.source) +
+			sourcesFragment(srcList)
+	case req.Source < 0:
+		return normalized{}, badRequestf("broadcast source must be non-negative, got %d", req.Source)
+	default:
+		n.key = systolic.RequestKey(systolic.OpBroadcast, n.kind, n.params, "", n.budget, n.source)
+	}
 	return n, nil
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -19,6 +20,97 @@ func TestNormalizeParamsUnknownIsDeterministic(t *testing.T) {
 		if !strings.Contains(err.Error(), `"alpha"`) {
 			t.Fatalf("iteration %d: error %q does not name the lexicographically first unknown parameter %q",
 				i, err, "alpha")
+		}
+	}
+}
+
+// TestNormalizeBroadcastCacheKeys pins the broadcast cache keys literally.
+// The all-sources key is the back-compat anchor: it must stay byte-equal to
+// what pre-sources-block servers wrote, so cached and spooled results
+// survive the API redesign; subset keys carry a fragment no legacy key can
+// contain.
+func TestNormalizeBroadcastCacheKeys(t *testing.T) {
+	base := AnalyzeRequest{Kind: "hypercube", Params: map[string]int{"dimension": 4}}
+
+	single := base
+	single.Source = 3
+	n, err := normalizeBroadcast(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "broadcast|hypercube|dimension=4||100000|3"; n.key != want {
+		t.Errorf("single-source key %q, want %q", n.key, want)
+	}
+
+	deprecated := base
+	deprecated.AllSources = true
+	structured := base
+	structured.Sources = &SourcesSpec{All: true}
+	nd, err := normalizeBroadcast(deprecated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := normalizeBroadcast(structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "broadcast-all|hypercube|dimension=4||100000|-1"; nd.key != want {
+		t.Errorf("legacy all_sources key %q, want %q (cached results would be orphaned)", nd.key, want)
+	}
+	// Identical canonical form field by field (paramList holds func values,
+	// so the whole struct cannot be compared).
+	if nd.key != ns.key || nd.allSources != ns.allSources || nd.source != ns.source ||
+		!reflect.DeepEqual(nd.sourceList, ns.sourceList) {
+		t.Errorf("all_sources and {\"all\": true} normalize differently:\n  %+v\n  %+v", nd, ns)
+	}
+	if !nd.allSources || nd.sourceList != nil {
+		t.Errorf("all-sources normalized form: %+v", nd)
+	}
+
+	subset := base
+	subset.Sources = &SourcesSpec{List: []int{9, 2, 9, 5}}
+	nl, err := normalizeBroadcast(subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "broadcast-all|hypercube|dimension=4||100000|-1|sources=2,5,9"; nl.key != want {
+		t.Errorf("subset key %q, want %q", nl.key, want)
+	}
+	if !reflect.DeepEqual(nl.sourceList, []int{2, 5, 9}) || nl.allSources {
+		t.Errorf("subset normalized form: sourceList=%v allSources=%v", nl.sourceList, nl.allSources)
+	}
+	// Request order and duplicates cannot split the cache.
+	reordered := base
+	reordered.Sources = &SourcesSpec{List: []int{5, 9, 2}}
+	nr, err := normalizeBroadcast(reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.key != nl.key {
+		t.Errorf("reordered subset keys differ: %q vs %q", nr.key, nl.key)
+	}
+}
+
+// TestNormalizeSourcesValidation: malformed sources blocks fail as 400s
+// with normalizeBroadcast never reaching a kernel.
+func TestNormalizeSourcesValidation(t *testing.T) {
+	base := AnalyzeRequest{Kind: "hypercube", Params: map[string]int{"dimension": 3}}
+	cases := []struct {
+		name string
+		mut  func(*AnalyzeRequest)
+	}{
+		{"both forms", func(r *AnalyzeRequest) { r.AllSources = true; r.Sources = &SourcesSpec{All: true} }},
+		{"all and list", func(r *AnalyzeRequest) { r.Sources = &SourcesSpec{All: true, List: []int{1}} }},
+		{"empty block", func(r *AnalyzeRequest) { r.Sources = &SourcesSpec{} }},
+		{"negative entry", func(r *AnalyzeRequest) { r.Sources = &SourcesSpec{List: []int{2, -1}} }},
+	}
+	for _, tc := range cases {
+		req := base
+		tc.mut(&req)
+		if _, err := normalizeBroadcast(req); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if _, ok := err.(badRequestError); !ok {
+			t.Errorf("%s: err %v is not a badRequestError (must map to HTTP 400)", tc.name, err)
 		}
 	}
 }

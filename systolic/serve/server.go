@@ -581,15 +581,22 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	all := req.AllSources
 	s.serveValue(w, r, n.key, func(ctx context.Context) (any, error) {
 		net, err := systolic.New(n.kind, n.paramList...)
 		if err != nil {
 			return nil, err
 		}
 		opts := []systolic.Option{systolic.WithRoundBudget(n.budget), s.roundsObserver()}
-		if all {
-			return systolic.AnalyzeBroadcastAll(ctx, net, opts...)
+		if n.allSources || n.sourceList != nil {
+			if n.sourceList != nil {
+				opts = append(opts, systolic.WithSources(n.sourceList))
+			}
+			rep, err := systolic.AnalyzeBroadcastAll(ctx, net, opts...)
+			if err != nil {
+				return nil, err
+			}
+			s.metrics.broadcastSources.Add(int64(len(rep.Rounds)))
+			return rep, nil
 		}
 		return systolic.AnalyzeBroadcast(ctx, net, n.source, opts...)
 	})

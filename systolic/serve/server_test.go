@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -209,10 +210,72 @@ func TestBroadcastEndpoints(t *testing.T) {
 	if len(all.Report.Rounds) != 16 {
 		t.Fatalf("all-sources rounds has %d entries, want 16", len(all.Report.Rounds))
 	}
-	if all.Report.Rounds[3] != env.Report.Measured {
-		t.Errorf("all-sources disagrees with single-source: %d vs %d",
+	// The scan measures flooding time — the source's eccentricity, 4 on a
+	// 4-cube from every source — which lower-bounds the single-source
+	// BFS-tree whispering time.
+	if all.Report.Rounds[3] != 4 || all.Report.Worst != 4 || all.Report.Best != 4 {
+		t.Errorf("hypercube scan should measure eccentricity 4 everywhere: %+v", all.Report)
+	}
+	if all.Report.Rounds[3] > env.Report.Measured {
+		t.Errorf("flooding time %d exceeds whispering time %d",
 			all.Report.Rounds[3], env.Report.Measured)
 	}
+	if all.Report.Sources != nil {
+		t.Errorf("full scan echoed explicit sources %v", all.Report.Sources)
+	}
+
+	// The structured {"all": true} block is the same request as the
+	// deprecated all_sources boolean.
+	resp = postJSON(t, ts.Client(), ts.URL+"/v1/broadcast", AnalyzeRequest{
+		Kind: "hypercube", Params: map[string]int{"dimension": 4}, Sources: &SourcesSpec{All: true},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sources-all status %d", resp.StatusCode)
+	}
+	structured := decodeBody[struct {
+		Report systolic.BroadcastAllReport `json:"report"`
+	}](t, resp)
+	if !reflect.DeepEqual(structured.Report, all.Report) {
+		t.Errorf("structured sources block diverged from all_sources:\n  %+v\n  %+v",
+			structured.Report, all.Report)
+	}
+
+	// A subset scan returns the matching rows, keyed by its sorted list.
+	resp = postJSON(t, ts.Client(), ts.URL+"/v1/broadcast", AnalyzeRequest{
+		Kind: "hypercube", Params: map[string]int{"dimension": 4}, Sources: &SourcesSpec{List: []int{7, 3}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sources-list status %d", resp.StatusCode)
+	}
+	sub := decodeBody[struct {
+		Report systolic.BroadcastAllReport `json:"report"`
+	}](t, resp)
+	if !reflect.DeepEqual(sub.Report.Sources, []int{3, 7}) {
+		t.Errorf("subset sources = %v, want canonicalized [3 7]", sub.Report.Sources)
+	}
+	if !reflect.DeepEqual(sub.Report.Rounds, []int{all.Report.Rounds[3], all.Report.Rounds[7]}) {
+		t.Errorf("subset rounds %v disagree with full-scan rows", sub.Report.Rounds)
+	}
+
+	// Malformed sources blocks are client errors.
+	for _, bad := range []*SourcesSpec{{}, {All: true, List: []int{1}}, {List: []int{-1}}} {
+		resp = postJSON(t, ts.Client(), ts.URL+"/v1/broadcast", AnalyzeRequest{
+			Kind: "hypercube", Params: map[string]int{"dimension": 4}, Sources: bad,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("sources %+v: status %d, want 400", bad, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// An out-of-range subset entry fails at instantiation (422, like other
+	// semantically invalid parameters).
+	resp = postJSON(t, ts.Client(), ts.URL+"/v1/broadcast", AnalyzeRequest{
+		Kind: "hypercube", Params: map[string]int{"dimension": 4}, Sources: &SourcesSpec{List: []int{16}},
+	})
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("out-of-range source accepted")
+	}
+	resp.Body.Close()
 
 	// A protocol on a broadcast request is rejected.
 	resp = postJSON(t, ts.Client(), ts.URL+"/v1/broadcast", AnalyzeRequest{
