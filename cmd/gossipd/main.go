@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime/debug"
@@ -54,6 +55,8 @@ func main() {
 	programCache := flag.Int("program-cache", 0, "compiled-program cache entries (0 = default 256)")
 	planCache := flag.Int("plan-cache", 0, "compiled delay-plan cache entries (0 = default 256)")
 	spool := flag.String("spool", "", "directory persisting async job results and checkpoints")
+	maxScanNodes := flag.Int("max-scan-nodes", 0, "largest network (vertices) a broadcast scan may target (0 = default 2^24)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget")
 	loadtest := flag.Bool("loadtest", false, "run the load generator instead of serving")
 	duration := flag.Duration("duration", time.Second, "loadtest duration")
@@ -68,6 +71,7 @@ func main() {
 		ProgramCacheSize:   *programCache,
 		DelayPlanCacheSize: *planCache,
 		SpoolDir:           *spool,
+		MaxScanNodes:       *maxScanNodes,
 		Version:            buildVersion(),
 	}
 	if *loadtest {
@@ -76,17 +80,36 @@ func main() {
 		}
 		return
 	}
-	if err := run(cfg, *addr, *drainTimeout); err != nil {
+	if err := run(cfg, *addr, *drainTimeout, *pprofOn); err != nil {
 		fatalf("%v", err)
 	}
 }
 
-func run(cfg serve.Config, addr string, drainTimeout time.Duration) error {
+// withPprof mounts the net/http/pprof handlers next to the API handler.
+// Profiling stays opt-in (-pprof): the endpoints expose heap contents and
+// can stall the process under load, so a production deployment must choose
+// them deliberately.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(cfg serve.Config, addr string, drainTimeout time.Duration, pprofOn bool) error {
 	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if pprofOn {
+		handler = withPprof(handler)
+	}
+	hs := &http.Server{Addr: addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -31,6 +31,17 @@
 //
 //	gossipsim -topology hypercube -dimension 10 -protocol periodic-full \
 //	  -loss 0.05 -seed 1 -trials 256
+//
+// Scale mode (-implicit) skips protocols entirely and streams a 64-source
+// eccentricity scan through the generator kernel — the arcs are computed on
+// the fly, never materialized — reporting the round profile, wall time and
+// heap footprint. Past the materialization threshold the registry builds
+// such topologies implicitly anyway, so this demonstrates instances far
+// beyond what adjacency lists could hold:
+//
+//	gossipsim -topology hypercube -dimension 24 -implicit   # 16.7M nodes, ~400M arcs
+//
+// -cpuprofile FILE and -memprofile FILE write pprof profiles for any mode.
 package main
 
 import (
@@ -40,8 +51,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/systolic"
 )
@@ -68,7 +82,24 @@ func main() {
 	deleteArcs := flag.String("delete", "", "scenario: deleted arcs, comma-separated from>to")
 	seed := flag.Uint64("seed", 0, "scenario: PRNG seed (part of the distribution's identity)")
 	trials := flag.Int("trials", 0, "scenario: Monte-Carlo trial count (any scenario flag implies 64)")
+	implicitDemo := flag.Bool("implicit", false, "stream a 64-source eccentricity scan through the generator kernel instead of simulating a protocol")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file when the run ends")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile)
+	}
 
 	// Map the named flags onto the parameters the chosen kind requires.
 	flagFor := map[string]*int{
@@ -104,6 +135,11 @@ func main() {
 	net, err := systolic.New(*topo, params...)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if *implicitDemo {
+		runImplicitDemo(net, *budget)
+		return
 	}
 
 	var p *systolic.Protocol
@@ -224,6 +260,59 @@ func main() {
 	fmt.Fprintf(human, "delay DG:   %d activations, %d delay arcs, ‖M(λ₀)‖ = %.4f\n",
 		rep.DelayVerts, rep.DelayArcs, rep.NormAtRoot)
 	fmt.Fprintf(human, "Theorem 4.1 respected: %v\n", rep.TheoremRespected)
+}
+
+// runImplicitDemo streams a 64-source eccentricity scan through the
+// generator kernel and reports the round profile, wall time and heap
+// footprint — the scale-tier demonstration. It needs a generator-eligible
+// topology; past the materialization threshold the network is implicit and
+// would stream anyway, below it WithImplicitScan forces the streaming
+// kernel so the demo is honest at any size.
+func runImplicitDemo(net *systolic.Network, budget int) {
+	if net.Gen == nil {
+		fatalf("-implicit needs a generator-eligible topology (hypercube, cycle, torus, ccc, butterfly, debruijn[-digraph], kautz[-digraph])")
+	}
+	n := net.N()
+	count := 64
+	if n < count {
+		count = n
+	}
+	stride := n / count
+	sources := make([]int, count)
+	for i := range sources {
+		sources[i] = i * stride
+	}
+	start := time.Now()
+	rep, err := systolic.AnalyzeBroadcastAll(context.Background(), net,
+		systolic.WithSources(sources), systolic.WithImplicitScan(), systolic.WithRoundBudget(budget))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	elapsed := time.Since(start)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Printf("network:    %s (n=%d, implicit=%v, streaming generator kernel)\n", net.Name, n, net.Implicit())
+	fmt.Printf("scan:       %d sources in %v\n", len(rep.Rounds), elapsed.Round(time.Millisecond))
+	fmt.Printf("rounds:     worst=%d (source %d) best=%d (source %d) mean=%.2f\n",
+		rep.Worst, rep.WorstSource, rep.Best, rep.BestSource, rep.MeanRounds)
+	fmt.Printf("memory:     heap in use %d MiB, total from OS %d MiB\n", ms.HeapInuse>>20, ms.Sys>>20)
+}
+
+// writeMemProfile snapshots the heap into path (after a GC, so the profile
+// reflects live objects rather than garbage).
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("memprofile: %v", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		fatalf("memprofile: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("memprofile: %v", err)
+	}
 }
 
 // runScenario drives the Monte-Carlo scenario certification and prints the

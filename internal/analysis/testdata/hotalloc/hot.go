@@ -92,3 +92,60 @@ func callsChecked(xs []int) int {
 
 /* want `gossip:hotpath is not attached to a function declaration` */ //gossip:hotpath
 var notAFunc = 3
+
+// The generator-step shape: a hot loop pulling neighbors through an
+// interface into a caller-owned buffer. The dynamic call is not statically
+// resolvable, so the transitive walk stops at the boundary — the contract
+// there is carried by each implementation being its own hotpath root.
+
+type arcSource interface {
+	InArcs(v int, buf []int32) int
+}
+
+type ringGen struct{ n int }
+
+// InArcs is a concrete generator method: verified as its own root, and
+// writing into the caller's buffer must stay silent.
+//
+//gossip:hotpath
+func (g ringGen) InArcs(v int, buf []int32) int {
+	buf[0] = int32((v + 1) % g.n)
+	buf[1] = int32((v - 1 + g.n) % g.n)
+	return 2
+}
+
+type genScratch struct {
+	src arcSource
+	buf []int32 // allocated once per worker, outside the hot path
+}
+
+//gossip:hotpath
+func genStep(fg *genScratch, cur, nxt []uint64, lo, hi int) uint64 {
+	changed := uint64(0)
+	for v := lo; v < hi; v++ {
+		w := cur[v]
+		k := fg.src.InArcs(v, fg.buf)
+		for i := 0; i < k; i++ {
+			w |= cur[fg.buf[i]]
+		}
+		nxt[v] = w
+		changed |= w ^ cur[v]
+	}
+	return changed
+}
+
+// genStepLeaky makes the per-call-buffer mistake the contract forbids:
+// scratch belongs in the worker state, not in the round loop.
+//
+//gossip:hotpath
+func genStepLeaky(src arcSource, cur, nxt []uint64, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		buf := make([]int32, 8) // want `make of a slice allocates`
+		w := cur[v]
+		k := src.InArcs(v, buf)
+		for i := 0; i < k; i++ {
+			w |= cur[buf[i]]
+		}
+		nxt[v] = w
+	}
+}

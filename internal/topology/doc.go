@@ -1,0 +1,38 @@
+// Package topology generates the interconnection networks studied by the
+// paper — Butterfly BF(d,D), Wrapped Butterfly WBF(d,D) (directed and
+// undirected), de Bruijn DB(d,D), Kautz K(d,D) — plus the classical networks
+// used as simulation substrates and baselines (paths, cycles, complete
+// graphs, grids, tori, hypercubes, complete d-ary trees, shuffle-exchange,
+// cube-connected cycles).
+//
+// All generators return *graph.Digraph instances on vertices 0..n-1 together
+// with label codecs mapping vertex ids to the structured labels of the paper
+// (digit strings and levels). Digits are 0-based (the paper uses {1,…,d};
+// the relabeling is an isomorphism).
+//
+// # Generator-eligible families
+//
+// Seven families additionally ship arithmetic graph.ArcSource generators
+// (generators.go) that compute a vertex's neighbors from its id alone, so
+// broadcast scans can stream instances far past what materialized arc
+// slices fit in memory:
+//
+//   - hypercube — HypercubeGen (also graph.OrGatherer)
+//   - cycle — CycleGen (also graph.OrGatherer)
+//   - torus — TorusGen (also graph.OrGatherer)
+//   - ccc — CCCGen (also graph.OrGatherer)
+//   - butterfly — ButterflyGen
+//   - de Bruijn, directed and undirected — DeBruijnGen
+//   - Kautz, directed and undirected — KautzGen
+//
+// Each generator reproduces its materialized builder exactly: same vertex
+// numbering, same arc set (differential-pinned in generators_test.go), so
+// scans over either representation are byte-identical. The remaining
+// families stay materialize-only: paths/grids/trees/stars are cheap and
+// small in practice, complete graphs are quadratic by nature (the systolic
+// registry rejects absurd sizes with ErrBadParam), shuffle-exchange merges
+// parallel shuffle/exchange edges (its neighbor lists are not uniform
+// arithmetic), and the wrapped butterfly's level-wrap duplicates arcs at
+// D = 2 — both could grow generators later with per-vertex dedup like
+// DeBruijnGen's, but nothing at their useful sizes needs streaming yet.
+package topology

@@ -1,0 +1,654 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// This file implements graph.ArcSource generators for the arithmetic
+// families: topologies whose arcs are computable from the vertex id alone,
+// so a broadcast scan can stream them without ever materializing arc
+// slices. Every generator is differential-pinned against its materialized
+// builder (same vertex numbering, same arc set) — see generators_test.go —
+// and every neighbor method honors the //gossip:hotpath zero-alloc
+// contract: per-vertex scratch lives in fixed-size local arrays, and
+// neighbor ids are written into the caller's buffer by index.
+//
+// The symmetric families (hypercube, cycle, torus, CCC) additionally
+// implement graph.OrGatherer: the streaming flood kernel's fast path folds
+// a word table over in-neighborhoods with one interface call per
+// cache-sized chunk instead of one per vertex, so no neighbor id ever
+// touches memory.
+
+// checkGenSize panics unless base^exp·factor is a positive vertex count
+// whose ids fit in the int32 arc buffers scans stream through. The systolic
+// registry re-validates parameters with typed errors before constructing a
+// generator; this guard is the library-level backstop for direct callers.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
+func checkGenSize(kind string, base, exp, factor int) int {
+	n := pow(base, exp)
+	nf := n * factor
+	if n != 0 && nf/n != factor {
+		panic(fmt.Sprintf("topology: %s generator size overflow", kind))
+	}
+	if nf <= 0 || nf > math.MaxInt32 {
+		panic(fmt.Sprintf("topology: %s generator size %d exceeds int32 vertex ids", kind, nf))
+	}
+	return nf
+}
+
+// HypercubeGen is the arithmetic hypercube Q_D: neighbor i of v is v with
+// bit i flipped. It mirrors Hypercube(D) exactly.
+type HypercubeGen struct {
+	d int // dimension
+	n int
+}
+
+// NewHypercubeGen returns the Q_D generator.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
+func NewHypercubeGen(D int) *HypercubeGen {
+	if D < 1 {
+		panic(fmt.Sprintf("topology: hypercube needs D ≥ 1, got %d", D))
+	}
+	return &HypercubeGen{d: D, n: checkGenSize("hypercube", 2, D, 1)}
+}
+
+// N returns 2^D.
+func (h *HypercubeGen) N() int { return h.n }
+
+// DegBound returns D.
+func (h *HypercubeGen) DegBound() int { return h.d }
+
+// OutArcs writes the D bit-flip neighbors of v.
+//
+//gossip:hotpath
+func (h *HypercubeGen) OutArcs(v int, buf []int32) int {
+	for i := 0; i < h.d; i++ {
+		buf[i] = int32(v ^ (1 << i))
+	}
+	return h.d
+}
+
+// InArcs equals OutArcs: the hypercube is symmetric.
+//
+//gossip:hotpath
+func (h *HypercubeGen) InArcs(v int, buf []int32) int { return h.OutArcs(v, buf) }
+
+// OrInChunk folds table over in-neighborhoods: D xors and D loads per
+// destination, no neighbor ids in memory. The fold runs on four
+// independent accumulators so the loads stay in flight instead of
+// serializing behind one OR chain.
+//
+//gossip:hotpath
+func (h *HypercubeGen) OrInChunk(lo, hi int, table, out []uint64) {
+	D := h.d
+	if D < 4 {
+		for v := lo; v < hi; v++ {
+			acc := table[v^1]
+			for i := 1; i < D; i++ {
+				acc |= table[v^(1<<i)]
+			}
+			out[v-lo] = acc
+		}
+		return
+	}
+	for v := lo; v < hi; v++ {
+		a := table[v^1]
+		b := table[v^2]
+		c := table[v^4]
+		d := table[v^8]
+		i := 4
+		for ; i+3 < D; i += 4 {
+			a |= table[v^(1<<i)]
+			b |= table[v^(2<<i)]
+			c |= table[v^(4<<i)]
+			d |= table[v^(8<<i)]
+		}
+		for ; i < D; i++ {
+			a |= table[v^(1<<i)]
+		}
+		out[v-lo] = a | b | c | d
+	}
+}
+
+// CycleGen is the arithmetic cycle C_n (n ≥ 3), mirroring Cycle(n).
+type CycleGen struct {
+	n int
+}
+
+// NewCycleGen returns the C_n generator.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
+func NewCycleGen(n int) *CycleGen {
+	if n < 3 {
+		panic(fmt.Sprintf("topology: cycle needs n ≥ 3, got %d", n))
+	}
+	checkGenSize("cycle", 1, 0, n)
+	return &CycleGen{n: n}
+}
+
+// N returns n.
+func (c *CycleGen) N() int { return c.n }
+
+// DegBound returns 2.
+func (c *CycleGen) DegBound() int { return 2 }
+
+// OutArcs writes v's two ring neighbors.
+//
+//gossip:hotpath
+func (c *CycleGen) OutArcs(v int, buf []int32) int {
+	next, prev := v+1, v-1
+	if next == c.n {
+		next = 0
+	}
+	if prev < 0 {
+		prev = c.n - 1
+	}
+	buf[0] = int32(prev)
+	buf[1] = int32(next)
+	return 2
+}
+
+// InArcs equals OutArcs: the cycle is symmetric.
+//
+//gossip:hotpath
+func (c *CycleGen) InArcs(v int, buf []int32) int { return c.OutArcs(v, buf) }
+
+// OrInChunk folds table over the two ring neighbors of each destination.
+//
+//gossip:hotpath
+func (c *CycleGen) OrInChunk(lo, hi int, table, out []uint64) {
+	n := c.n
+	for v := lo; v < hi; v++ {
+		next, prev := v+1, v-1
+		if next == n {
+			next = 0
+		}
+		if prev < 0 {
+			prev = n - 1
+		}
+		out[v-lo] = table[prev] | table[next]
+	}
+}
+
+// TorusGen is the arithmetic a×b torus (a, b ≥ 3), mirroring Torus(a, b):
+// vertex (r, c) has id r·b + c.
+type TorusGen struct {
+	a, b int
+	n    int
+}
+
+// NewTorusGen returns the a×b torus generator.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
+func NewTorusGen(a, b int) *TorusGen {
+	if a < 3 || b < 3 {
+		panic(fmt.Sprintf("topology: torus needs a,b ≥ 3, got %dx%d", a, b))
+	}
+	return &TorusGen{a: a, b: b, n: checkGenSize("torus", b, 1, a)}
+}
+
+// N returns a·b.
+func (t *TorusGen) N() int { return t.n }
+
+// DegBound returns 4.
+func (t *TorusGen) DegBound() int { return 4 }
+
+// OutArcs writes v's four wrap-around mesh neighbors.
+//
+//gossip:hotpath
+func (t *TorusGen) OutArcs(v int, buf []int32) int {
+	r, c := v/t.b, v%t.b
+	cn, cp := c+1, c-1
+	if cn == t.b {
+		cn = 0
+	}
+	if cp < 0 {
+		cp = t.b - 1
+	}
+	rn, rp := r+1, r-1
+	if rn == t.a {
+		rn = 0
+	}
+	if rp < 0 {
+		rp = t.a - 1
+	}
+	buf[0] = int32(r*t.b + cp)
+	buf[1] = int32(r*t.b + cn)
+	buf[2] = int32(rp*t.b + c)
+	buf[3] = int32(rn*t.b + c)
+	return 4
+}
+
+// InArcs equals OutArcs: the torus is symmetric.
+//
+//gossip:hotpath
+func (t *TorusGen) InArcs(v int, buf []int32) int { return t.OutArcs(v, buf) }
+
+// OrInChunk folds table over the four mesh neighbors of each destination.
+//
+//gossip:hotpath
+func (t *TorusGen) OrInChunk(lo, hi int, table, out []uint64) {
+	for v := lo; v < hi; v++ {
+		r, c := v/t.b, v%t.b
+		cn, cp := c+1, c-1
+		if cn == t.b {
+			cn = 0
+		}
+		if cp < 0 {
+			cp = t.b - 1
+		}
+		rn, rp := r+1, r-1
+		if rn == t.a {
+			rn = 0
+		}
+		if rp < 0 {
+			rp = t.a - 1
+		}
+		out[v-lo] = table[r*t.b+cp] | table[r*t.b+cn] | table[rp*t.b+c] | table[rn*t.b+c]
+	}
+}
+
+// CCCGen is the arithmetic cube-connected-cycles CCC(D) (D ≥ 3), mirroring
+// CCC(D): vertex (w, i) has id i·2^D + w, cycle neighbors (w, i±1 mod D)
+// and cube neighbor (w ⊕ 2^i, i).
+type CCCGen struct {
+	d    int // dimension
+	n    int
+	mask int // 2^D − 1
+}
+
+// NewCCCGen returns the CCC(D) generator.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
+func NewCCCGen(D int) *CCCGen {
+	if D < 3 {
+		panic(fmt.Sprintf("topology: CCC needs D ≥ 3, got %d", D))
+	}
+	return &CCCGen{d: D, n: checkGenSize("ccc", 2, D, D), mask: pow(2, D) - 1}
+}
+
+// N returns D·2^D.
+func (c *CCCGen) N() int { return c.n }
+
+// DegBound returns 3.
+func (c *CCCGen) DegBound() int { return 3 }
+
+// OutArcs writes the two cycle neighbors and the cube neighbor of v.
+//
+//gossip:hotpath
+func (c *CCCGen) OutArcs(v int, buf []int32) int {
+	w := v & c.mask
+	i := v >> uint(c.d)
+	in, ip := i+1, i-1
+	if in == c.d {
+		in = 0
+	}
+	if ip < 0 {
+		ip = c.d - 1
+	}
+	buf[0] = int32(ip<<uint(c.d) | w)
+	buf[1] = int32(in<<uint(c.d) | w)
+	buf[2] = int32(i<<uint(c.d) | (w ^ (1 << uint(i))))
+	return 3
+}
+
+// InArcs equals OutArcs: CCC is symmetric.
+//
+//gossip:hotpath
+func (c *CCCGen) InArcs(v int, buf []int32) int { return c.OutArcs(v, buf) }
+
+// OrInChunk folds table over the three neighbors of each destination.
+//
+//gossip:hotpath
+func (c *CCCGen) OrInChunk(lo, hi int, table, out []uint64) {
+	D := uint(c.d)
+	for v := lo; v < hi; v++ {
+		w := v & c.mask
+		i := v >> D
+		in, ip := i+1, i-1
+		if in == c.d {
+			in = 0
+		}
+		if ip < 0 {
+			ip = c.d - 1
+		}
+		out[v-lo] = table[ip<<D|w] | table[in<<D|w] | table[i<<D|(w^(1<<uint(i)))]
+	}
+}
+
+// ButterflyGen is the arithmetic unwrapped Butterfly BF(d,D), mirroring
+// NewButterfly(d, D): vertex (x, l) has id l·d^D + value(x); (x, l) with
+// l > 0 is joined to the d vertices (x with digit l−1 replaced, l−1), and
+// symmetrically upward.
+type ButterflyGen struct {
+	d, dim int // degree, diameter D
+	dD     int // d^D
+	n      int
+	powd   []int // powd[i] = d^i
+}
+
+// NewButterflyGen returns the BF(d,D) generator.
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
+func NewButterflyGen(d, D int) *ButterflyGen {
+	if d < 2 || D < 1 {
+		panic(fmt.Sprintf("topology: BF needs d ≥ 2, D ≥ 1, got d=%d D=%d", d, D))
+	}
+	b := &ButterflyGen{d: d, dim: D, dD: pow(d, D), n: checkGenSize("butterfly", d, D, D+1)}
+	b.powd = make([]int, D+1)
+	for i := 0; i <= D; i++ {
+		b.powd[i] = pow(d, i)
+	}
+	return b
+}
+
+// N returns (D+1)·d^D.
+func (b *ButterflyGen) N() int { return b.n }
+
+// DegBound returns 2d (interior levels have d up- and d down-neighbors).
+func (b *ButterflyGen) DegBound() int { return 2 * b.d }
+
+// OutArcs writes the down- and up-level neighbors of v: digit replacement
+// is x + (β − x_p)·d^p, so no word decode is needed.
+//
+//gossip:hotpath
+func (b *ButterflyGen) OutArcs(v int, buf []int32) int {
+	l, x := v/b.dD, v%b.dD
+	k := 0
+	if l > 0 {
+		pd := b.powd[l-1]
+		base := (l-1)*b.dD + x - (x/pd)%b.d*pd
+		for beta := 0; beta < b.d; beta++ {
+			buf[k] = int32(base + beta*pd)
+			k++
+		}
+	}
+	if l < b.dim {
+		pd := b.powd[l]
+		base := (l+1)*b.dD + x - (x/pd)%b.d*pd
+		for beta := 0; beta < b.d; beta++ {
+			buf[k] = int32(base + beta*pd)
+			k++
+		}
+	}
+	return k
+}
+
+// InArcs equals OutArcs: the butterfly is symmetric.
+//
+//gossip:hotpath
+func (b *ButterflyGen) InArcs(v int, buf []int32) int { return b.OutArcs(v, buf) }
+
+// DeBruijnGen is the arithmetic de Bruijn DB(d,D) / DB→(d,D), mirroring
+// NewDeBruijn / NewDeBruijnDigraph: successors of v are (v mod d^(D−1))·d+β,
+// predecessors are γ·d^(D−1) + v/d, with self-loops (at constant words)
+// omitted; the undirected variant is the symmetric closure, so both
+// neighbor lists are the deduplicated union.
+type DeBruijnGen struct {
+	d, dim   int // degree, diameter D
+	m        int // d^(D−1)
+	n        int // d^D
+	directed bool
+}
+
+// NewDeBruijnGen returns the DB(d,D) generator; directed selects DB→(d,D).
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
+func NewDeBruijnGen(d, D int, directed bool) *DeBruijnGen {
+	if d < 2 || D < 2 {
+		panic(fmt.Sprintf("topology: DB needs d ≥ 2, D ≥ 2, got d=%d D=%d", d, D))
+	}
+	return &DeBruijnGen{d: d, dim: D, m: pow(d, D-1), n: checkGenSize("debruijn", d, D, 1), directed: directed}
+}
+
+// N returns d^D.
+func (db *DeBruijnGen) N() int { return db.n }
+
+// DegBound returns d for the digraph, 2d for the symmetric closure.
+func (db *DeBruijnGen) DegBound() int {
+	if db.directed {
+		return db.d
+	}
+	return 2 * db.d
+}
+
+// succs writes the shift-append successors of v (self-loops skipped).
+//
+//gossip:hotpath
+func (db *DeBruijnGen) succs(v int, buf []int32) int {
+	base := (v % db.m) * db.d
+	k := 0
+	for beta := 0; beta < db.d; beta++ {
+		if u := base + beta; u != v {
+			buf[k] = int32(u)
+			k++
+		}
+	}
+	return k
+}
+
+// preds writes the shift-prepend predecessors of v (self-loops skipped).
+//
+//gossip:hotpath
+func (db *DeBruijnGen) preds(v int, buf []int32) int {
+	base := v / db.d
+	k := 0
+	for gamma := 0; gamma < db.d; gamma++ {
+		if u := gamma*db.m + base; u != v {
+			buf[k] = int32(u)
+			k++
+		}
+	}
+	return k
+}
+
+// OutArcs writes the successors of v; for the undirected variant the
+// predecessors are unioned in with quadratic dedup (≤ 2d candidates).
+//
+//gossip:hotpath
+func (db *DeBruijnGen) OutArcs(v int, buf []int32) int {
+	k := db.succs(v, buf)
+	if db.directed {
+		return k
+	}
+	return unionInto(buf, k, db.preds(v, buf[k:]))
+}
+
+// InArcs writes the predecessors of v (union with successors when
+// undirected).
+//
+//gossip:hotpath
+func (db *DeBruijnGen) InArcs(v int, buf []int32) int {
+	k := db.preds(v, buf)
+	if db.directed {
+		return k
+	}
+	return unionInto(buf, k, db.succs(v, buf[k:]))
+}
+
+// KautzGen is the arithmetic Kautz K(d,D) / K→(d,D), mirroring NewKautz /
+// NewKautzDigraph including its vertex numbering: the builder enumerates
+// the adjacent-digits-differ words lexicographically by (x_{D−1},…,x_0),
+// which admits a closed-form rank codec — the first digit has d+1 choices
+// and every later digit d choices, so
+//
+//	id(x) = x_{D−1}·d^(D−1) + Σ_{i<D−1} r_i·d^i,  r_i = x_i − [x_i > x_{i+1}]
+//
+// and decoding inverts digit by digit.
+type KautzGen struct {
+	d, dim   int // degree, diameter D
+	n        int // (d+1)·d^(D−1)
+	powd     []int
+	directed bool
+}
+
+// NewKautzGen returns the K(d,D) generator; directed selects K→(d,D).
+//
+//gossip:allowpanic parameter guard: the systolic registry validates topology parameters before building
+func NewKautzGen(d, D int, directed bool) *KautzGen {
+	if d < 2 || D < 2 {
+		panic(fmt.Sprintf("topology: Kautz needs d ≥ 2, D ≥ 2, got d=%d D=%d", d, D))
+	}
+	k := &KautzGen{d: d, dim: D, n: checkGenSize("kautz", d, D-1, d+1), directed: directed}
+	k.powd = make([]int, D)
+	for i := 0; i < D; i++ {
+		k.powd[i] = pow(d, i)
+	}
+	return k
+}
+
+// N returns (d+1)·d^(D−1).
+func (k *KautzGen) N() int { return k.n }
+
+// DegBound returns d for the digraph, 2d for the symmetric closure.
+func (k *KautzGen) DegBound() int {
+	if k.directed {
+		return k.d
+	}
+	return 2 * k.d
+}
+
+// decode expands id into digits x[0..D−1] (LSB first, Word convention).
+//
+//gossip:hotpath
+func (k *KautzGen) decode(id int, x *[64]int) {
+	hi := k.powd[k.dim-1]
+	x[k.dim-1] = id / hi
+	rem := id % hi
+	for i := k.dim - 2; i >= 0; i-- {
+		r := rem / k.powd[i]
+		rem %= k.powd[i]
+		if r >= x[i+1] {
+			r++
+		}
+		x[i] = r
+	}
+}
+
+// encode ranks digits x[0..D−1] back into a vertex id.
+//
+//gossip:hotpath
+func (k *KautzGen) encode(x *[64]int) int {
+	id := x[k.dim-1] * k.powd[k.dim-1]
+	for i := k.dim - 2; i >= 0; i-- {
+		r := x[i]
+		if r > x[i+1] {
+			r--
+		}
+		id += r * k.powd[i]
+	}
+	return id
+}
+
+// succs writes the d shift-append successors of v: y = x_{D−2}…x_0·β with
+// β ≠ x_0 (always a valid Kautz word, never a self-loop).
+//
+//gossip:hotpath
+func (k *KautzGen) succs(v int, buf []int32) int {
+	var x, y [64]int
+	k.decode(v, &x)
+	for i := 1; i < k.dim; i++ {
+		y[i] = x[i-1]
+	}
+	cnt := 0
+	for beta := 0; beta <= k.d; beta++ {
+		if beta == x[0] {
+			continue
+		}
+		y[0] = beta
+		buf[cnt] = int32(k.encode(&y))
+		cnt++
+	}
+	return cnt
+}
+
+// preds writes the d shift-prepend predecessors of v: u = γ·x_{D−1}…x_1
+// with γ ≠ x_{D−1}.
+//
+//gossip:hotpath
+func (k *KautzGen) preds(v int, buf []int32) int {
+	var x, u [64]int
+	k.decode(v, &x)
+	for i := 0; i < k.dim-1; i++ {
+		u[i] = x[i+1]
+	}
+	cnt := 0
+	for gamma := 0; gamma <= k.d; gamma++ {
+		if gamma == x[k.dim-1] {
+			continue
+		}
+		u[k.dim-1] = gamma
+		buf[cnt] = int32(k.encode(&u))
+		cnt++
+	}
+	return cnt
+}
+
+// OutArcs writes the successors of v (union with predecessors when
+// undirected).
+//
+//gossip:hotpath
+func (k *KautzGen) OutArcs(v int, buf []int32) int {
+	cnt := k.succs(v, buf)
+	if k.directed {
+		return cnt
+	}
+	return unionInto(buf, cnt, k.preds(v, buf[cnt:]))
+}
+
+// InArcs writes the predecessors of v (union with successors when
+// undirected).
+//
+//gossip:hotpath
+func (k *KautzGen) InArcs(v int, buf []int32) int {
+	cnt := k.preds(v, buf)
+	if k.directed {
+		return cnt
+	}
+	return unionInto(buf, cnt, k.succs(v, buf[cnt:]))
+}
+
+// unionInto compacts buf[:k+extra] so buf[k:k+extra] keeps only ids absent
+// from buf[:k], returning the deduplicated length. Quadratic over ≤ 2d
+// candidates — cheaper than any set structure at these sizes, and
+// allocation-free.
+//
+//gossip:hotpath
+func unionInto(buf []int32, k, extra int) int {
+	out := k
+	for i := k; i < k+extra; i++ {
+		dup := false
+		for j := 0; j < k; j++ {
+			if buf[j] == buf[i] {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf[out] = buf[i]
+			out++
+		}
+	}
+	return out
+}
+
+// Interface conformance: every generator is an ArcSource; the symmetric
+// constant-degree families also provide the chunked OR fast path.
+var (
+	_ graph.ArcSource  = (*HypercubeGen)(nil)
+	_ graph.OrGatherer = (*HypercubeGen)(nil)
+	_ graph.ArcSource  = (*CycleGen)(nil)
+	_ graph.OrGatherer = (*CycleGen)(nil)
+	_ graph.ArcSource  = (*TorusGen)(nil)
+	_ graph.OrGatherer = (*TorusGen)(nil)
+	_ graph.ArcSource  = (*CCCGen)(nil)
+	_ graph.OrGatherer = (*CCCGen)(nil)
+	_ graph.ArcSource  = (*ButterflyGen)(nil)
+	_ graph.ArcSource  = (*DeBruijnGen)(nil)
+	_ graph.ArcSource  = (*KautzGen)(nil)
+)

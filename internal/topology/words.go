@@ -1,14 +1,3 @@
-// Package topology generates the interconnection networks studied by the
-// paper — Butterfly BF(d,D), Wrapped Butterfly WBF(d,D) (directed and
-// undirected), de Bruijn DB(d,D), Kautz K(d,D) — plus the classical networks
-// used as simulation substrates and baselines (paths, cycles, complete
-// graphs, grids, tori, hypercubes, complete d-ary trees, shuffle-exchange,
-// cube-connected cycles).
-//
-// All generators return *graph.Digraph instances on vertices 0..n-1 together
-// with label codecs mapping vertex ids to the structured labels of the paper
-// (digit strings and levels). Digits are 0-based (the paper uses {1,…,d};
-// the relabeling is an isomorphism).
 package topology
 
 import "fmt"

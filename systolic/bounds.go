@@ -51,16 +51,19 @@ func GeneralBound(mode Mode, period int) (e, lambda float64) {
 // under the request. For networks in the Lemma 3.1 families the separator
 // refinement is applied automatically; for all others the general bound is
 // returned. Period 2 in the directed/half-duplex modes returns the explicit
-// n−1 bound of the Section 4 remark.
+// n−1 bound of the Section 4 remark. Implicit networks are evaluated from
+// n and the family classification alone — the directed-diameter refinement
+// needs explicit adjacency and is skipped (it only applies to tiny
+// instances anyway).
 func Evaluate(net *Network, req Request) Bound {
-	n := net.G.N()
+	n := net.N()
 	if req.Period == 2 {
 		if req.Mode == gossip.FullDuplex {
 			r := bounds.STwoFullDuplexLowerBound(n)
 			if lg := ceilLog2(n); lg > r {
 				r = lg
 			}
-			if n <= 4096 {
+			if n <= 4096 && net.G != nil {
 				if diam := net.G.Diameter(); diam > r {
 					r = diam
 				}
@@ -91,7 +94,7 @@ func Evaluate(net *Network, req Request) Bound {
 	if lg := ceilLog2(n); lg > best.Rounds {
 		best.Rounds = lg
 	}
-	if n <= 4096 {
+	if n <= 4096 && net.G != nil {
 		if diam := net.G.Diameter(); diam > best.Rounds {
 			best.Rounds = diam
 		}

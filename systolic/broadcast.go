@@ -134,9 +134,21 @@ type BroadcastAllReport struct {
 // lanes. A source that exceeds the WithRoundBudget cap aborts the scan
 // with ErrIncomplete; a source that cannot reach every vertex aborts it
 // with ErrUnreachable (raising the budget cannot help).
+//
+// Networks carrying a generator can be scanned without the CSR lowering:
+// the streaming kernels compute arcs on the fly and touch only O(n)
+// frontier memory. The scan picks them automatically for implicit
+// networks, for generator-backed networks above DefaultImplicitScanNodes,
+// and when the CSR would not fit a WithMaxMemory cap; WithImplicitScan
+// forces them. Reports and errors are byte-identical across all four
+// kernels (CSR/generator × packed/scalar).
 func AnalyzeBroadcastAll(ctx context.Context, net *Network, opts ...Option) (*BroadcastAllReport, error) {
 	cfg := newConfig(opts)
 	sources, explicit, err := scanSources(net, cfg.sources)
+	if err != nil {
+		return nil, err
+	}
+	useGen, err := pickScanKernel(net, len(sources), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -144,11 +156,17 @@ func AnalyzeBroadcastAll(ctx context.Context, net *Network, opts ...Option) (*Br
 	if explicit {
 		rep.Sources = sources
 	}
-	flood := net.G.LowerFlood()
-	if cfg.scalarScan {
-		err = scalarScan(ctx, net, flood, sources, rep.Rounds, cfg)
-	} else {
-		err = packedScan(ctx, net, flood, sources, rep.Rounds, cfg)
+	switch {
+	case useGen && cfg.scalarScan:
+		fg := graph.NewFloodGen(net.Gen)
+		err = scalarScan(ctx, net, func(fr *gossip.FrontierState) int { return fr.StepGen(fg) }, sources, rep.Rounds, cfg)
+	case useGen:
+		err = packedScanGen(ctx, net, sources, rep.Rounds, cfg)
+	case cfg.scalarScan:
+		round := net.G.LowerFlood().Arcs()
+		err = scalarScan(ctx, net, func(fr *gossip.FrontierState) int { return fr.Step(round) }, sources, rep.Rounds, cfg)
+	default:
+		err = packedScan(ctx, net, net.G.LowerFlood(), sources, rep.Rounds, cfg)
 	}
 	if err != nil {
 		return nil, err
@@ -157,10 +175,73 @@ func AnalyzeBroadcastAll(ctx context.Context, net *Network, opts ...Option) (*Br
 	return rep, nil
 }
 
+// pickScanKernel decides between the CSR kernels and the streaming
+// generator kernels for one scan. Forcing (WithImplicitScan) wins, then
+// necessity (an implicit network has nothing to lower), then the size
+// heuristic, then the WithMaxMemory guard rail — which can demote a
+// CSR-eligible scan to the generator path, or fail it with ErrMemoryBudget
+// when no kernel fits the cap.
+func pickScanKernel(net *Network, nsrc int, cfg config) (useGen bool, err error) {
+	hasGen := net.Gen != nil
+	switch {
+	case cfg.implicitScan:
+		if !hasGen {
+			return false, fmt.Errorf("systolic: broadcast-all on %s: %w: WithImplicitScan needs a generator-backed network",
+				net.Name, ErrBadParam)
+		}
+		useGen = true
+	case net.Implicit():
+		// Implicit networks always carry a generator (PlainImplicit and
+		// ClassifiedImplicit are the only constructors of G == nil).
+		useGen = true
+	case hasGen && net.N() > DefaultImplicitScanNodes:
+		useGen = true
+	}
+	if cfg.maxMemory > 0 {
+		genBytes, csrBytes := scanFootprint(net, nsrc, cfg)
+		need := csrBytes
+		if useGen {
+			need = genBytes
+		} else if csrBytes > cfg.maxMemory && hasGen && genBytes <= cfg.maxMemory {
+			// The CSR would blow the cap but the streaming kernel fits:
+			// fall back instead of failing.
+			useGen, need = true, genBytes
+		}
+		if need > cfg.maxMemory {
+			return false, fmt.Errorf("systolic: broadcast-all on %s: %w (estimated working set ~%d bytes, cap %d)",
+				net.Name, ErrMemoryBudget, need, cfg.maxMemory)
+		}
+	}
+	return useGen, nil
+}
+
+// scanFootprint estimates the working bytes of the generator and CSR
+// kernels for this scan: per-worker frontier state plus, for the CSR, the
+// shared lowering (4-byte indptr per vertex, 4-byte source per arc). The
+// estimates are deliberately coarse — they gate WithMaxMemory, they do not
+// meter an allocator.
+func scanFootprint(net *Network, nsrc int, cfg config) (genBytes, csrBytes int64) {
+	n := int64(net.N())
+	frontier := 16 * n // packed: two 8-byte knowledge words per vertex
+	if cfg.scalarScan {
+		frontier = n / 2 // two bitsets plus slack
+	}
+	workers := int64(cfg.workers)
+	if batches := int64(nsrc+gossip.PackedLanes-1) / int64(gossip.PackedLanes); workers > batches {
+		workers = batches
+	}
+	genBytes = workers * frontier
+	csrBytes = workers*frontier + 4*(n+1)
+	if net.G != nil {
+		csrBytes += 4 * int64(net.G.M())
+	}
+	return genBytes, csrBytes
+}
+
 // scanSources resolves the scan's source list: every vertex when sources
 // is nil, otherwise a validated copy of the subset (in caller order).
 func scanSources(net *Network, sources []int) (list []int, explicit bool, err error) {
-	n := net.G.N()
+	n := net.N()
 	if sources == nil {
 		list = make([]int, n)
 		for v := range list {
@@ -240,9 +321,10 @@ func errScanUnreachable(net *Network, source, rounds int) error {
 // scalarScan is the per-source reference kernel: one 1-bit frontier,
 // reset in place per source, stepped over the flooding round. It defines
 // the scan's semantics; the packed kernel must match it byte for byte.
-func scalarScan(ctx context.Context, net *Network, flood *graph.FloodCSR, sources, rounds []int, cfg config) error {
-	n := net.G.N()
-	round := flood.Arcs()
+// The step closure hides the arc representation — walking the lowered
+// round or streaming a generator — so both produce identical reports.
+func scalarScan(ctx context.Context, net *Network, step func(*gossip.FrontierState) int, sources, rounds []int, cfg config) error {
+	n := net.N()
 	fr := gossip.NewFrontierState(n, 0)
 	so, _ := cfg.observer.(ScanObserver)
 	batchCols := 0 // informed columns of the current batch's finished lanes
@@ -264,7 +346,7 @@ func scalarScan(ctx context.Context, net *Network, flood *graph.FloodCSR, source
 			if r >= cfg.budget {
 				return errScanIncomplete(net, src, cfg.budget)
 			}
-			if fr.Step(round) == 0 {
+			if step(fr) == 0 {
 				return errScanUnreachable(net, src, r)
 			}
 			r++
@@ -291,15 +373,97 @@ func scalarScan(ctx context.Context, net *Network, flood *graph.FloodCSR, source
 // sharded across the worker pool (batches are independent, so reports are
 // byte-identical for every worker count).
 func packedScan(ctx context.Context, net *Network, flood *graph.FloodCSR, sources, rounds []int, cfg config) error {
+	step := func(pf *gossip.PackedFrontier) (uint64, uint64, int) { return pf.StepFlood(flood) }
+	return packedBatches(ctx, net, func(int) packedStep { return step }, sources, rounds, cfg)
+}
+
+// packedScanGen is the streaming counterpart of packedScan: the same batch
+// bookkeeping with arcs computed on the fly from the network's generator.
+// Multi-batch scans parallelize across batches exactly like packedScan,
+// each worker owning a fixed FloodGen scratch; a single-batch scan on a
+// large network — the shape of huge implicit scans, where all 64 lanes fit
+// one word — instead shards each step by vertex range across the pool
+// (StepFloodGenRange over disjoint ranges, folded, then one CommitStep).
+func packedScanGen(ctx context.Context, net *Network, sources, rounds []int, cfg config) error {
+	batches := (len(sources) + gossip.PackedLanes - 1) / gossip.PackedLanes
+	if batches == 1 && cfg.workers > 1 && net.N() >= cfg.shardThreshold {
+		pf := gossip.NewPackedFrontier(net.N())
+		return packedBatch(ctx, net, shardedGenStep(net.Gen, net.N(), cfg.workers), pf, sources, rounds, 0, cfg)
+	}
+	return packedBatches(ctx, net, func(int) packedStep {
+		fg := graph.NewFloodGen(net.Gen)
+		return func(pf *gossip.PackedFrontier) (uint64, uint64, int) { return pf.StepFloodGen(fg) }
+	}, sources, rounds, cfg)
+}
+
+// packedStep advances a packed frontier one flooding round, whatever the
+// arc representation, returning the kernel triple (complete, changed,
+// informed) masked to the batch's active lanes.
+type packedStep func(*gossip.PackedFrontier) (uint64, uint64, int)
+
+// shardedGenStep builds a packedStep that splits [0, n) into chunk-aligned
+// vertex ranges, steps them concurrently — one FloodGen scratch per shard,
+// ranges disjoint so the contract of StepFloodGenRange holds — folds the
+// raw shard triples and commits the round once.
+func shardedGenStep(gen ArcSource, n, workers int) packedStep {
+	chunks := (n + graph.GenChunkVerts - 1) / graph.GenChunkVerts
+	shards := workers
+	if shards > chunks {
+		shards = chunks
+	}
+	cuts := make([]int, shards+1)
+	for i := 1; i < shards; i++ {
+		cuts[i] = chunks * i / shards * graph.GenChunkVerts
+	}
+	cuts[shards] = n
+	fgs := make([]*graph.FloodGen, shards)
+	for i := range fgs {
+		fgs[i] = graph.NewFloodGen(gen)
+	}
+	type shardRes struct {
+		and, changed uint64
+		informed     int
+		_            [5]uint64 // keep shard results off each other's cache line
+	}
+	results := make([]shardRes, shards)
+	return func(pf *gossip.PackedFrontier) (uint64, uint64, int) {
+		var wg sync.WaitGroup
+		for i := 0; i < shards; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				and, changed, informed := pf.StepFloodGenRange(fgs[i], cuts[i], cuts[i+1])
+				results[i] = shardRes{and: and, changed: changed, informed: informed}
+			}(i)
+		}
+		wg.Wait()
+		and, changed, informed := ^uint64(0), uint64(0), 0
+		for i := range results {
+			and &= results[i].and
+			changed |= results[i].changed
+			informed += results[i].informed
+		}
+		pf.CommitStep()
+		full := pf.Full()
+		return and & full, changed & full, informed
+	}
+}
+
+// packedBatches drives the batch pool shared by the CSR and generator
+// packed kernels: batches are independent, claimed in scan order, and each
+// worker builds its step (and any scratch it closes over) once. Reports
+// are byte-identical for every worker count.
+func packedBatches(ctx context.Context, net *Network, mkStep func(worker int) packedStep, sources, rounds []int, cfg config) error {
 	batches := (len(sources) + gossip.PackedLanes - 1) / gossip.PackedLanes
 	workers := cfg.workers
 	if workers > batches {
 		workers = batches
 	}
 	if workers <= 1 {
-		pf := gossip.NewPackedFrontier(net.G.N())
+		pf := gossip.NewPackedFrontier(net.N())
+		step := mkStep(0)
 		for b := 0; b < batches; b++ {
-			if err := packedBatch(ctx, net, flood, pf, sources, rounds, b, cfg); err != nil {
+			if err := packedBatch(ctx, net, step, pf, sources, rounds, b, cfg); err != nil {
 				return err
 			}
 		}
@@ -310,9 +474,10 @@ func packedScan(ctx context.Context, net *Network, flood *graph.FloodCSR, source
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			pf := gossip.NewPackedFrontier(net.G.N())
+			pf := gossip.NewPackedFrontier(net.N())
+			step := mkStep(w)
 			for {
 				b := int(next.Add(1)) - 1
 				if b >= batches {
@@ -324,11 +489,11 @@ func packedScan(ctx context.Context, net *Network, flood *graph.FloodCSR, source
 				if failed.Load() != 0 {
 					return
 				}
-				if errs[b] = packedBatch(ctx, net, flood, pf, sources, rounds, b, cfg); errs[b] != nil {
+				if errs[b] = packedBatch(ctx, net, step, pf, sources, rounds, b, cfg); errs[b] != nil {
 					failed.Store(1)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -344,8 +509,8 @@ func packedScan(ctx context.Context, net *Network, flood *graph.FloodCSR, source
 // outcomes exactly: a lane completing within the budget records its round,
 // and the first failing lane (in scan order) aborts with the same error
 // the scalar scan would have produced for that source.
-func packedBatch(ctx context.Context, net *Network, flood *graph.FloodCSR, pf *gossip.PackedFrontier, sources, rounds []int, b int, cfg config) error {
-	n := net.G.N()
+func packedBatch(ctx context.Context, net *Network, step packedStep, pf *gossip.PackedFrontier, sources, rounds []int, b int, cfg config) error {
+	n := net.N()
 	lo := b * gossip.PackedLanes
 	hi := lo + gossip.PackedLanes
 	if hi > len(sources) {
@@ -369,7 +534,7 @@ func packedBatch(ctx context.Context, net *Network, flood *graph.FloodCSR, pf *g
 		if err := ctx.Err(); err != nil {
 			return errScanCtx(net, err)
 		}
-		complete, changed, informed := pf.StepFlood(flood)
+		complete, changed, informed := step(pf)
 		for m := complete &^ done; m != 0; m &= m - 1 {
 			rounds[lo+bits.TrailingZeros64(m)] = r
 		}

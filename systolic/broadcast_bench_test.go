@@ -11,6 +11,11 @@ import (
 // subset of hypercube d=16 (65536 vertices, one batch). Workers are pinned
 // at 4 so the allocation counts the CI gate pins do not depend on the
 // benchmark machine's GOMAXPROCS.
+//
+// The *Gen variants force the same scans through the streaming generator
+// kernel (WithImplicitScan) on the same materialized networks, pinning the
+// price of computing arcs on the fly instead of walking the CSR — the
+// acceptance bound is packed gen within 1.3x of packed CSR at d=12.
 
 func benchScan(b *testing.B, dim int, sources []int, opts ...Option) {
 	b.Helper()
@@ -56,4 +61,14 @@ func BenchmarkBroadcastAllPackedD16(b *testing.B) { benchScan(b, 16, subset64(1<
 
 func BenchmarkBroadcastAllScalarD16(b *testing.B) {
 	benchScan(b, 16, subset64(1<<16), WithScalarScan())
+}
+
+func BenchmarkBroadcastAllPackedGen(b *testing.B) { benchScan(b, 12, nil, WithImplicitScan()) }
+
+func BenchmarkBroadcastAllScalarGen(b *testing.B) {
+	benchScan(b, 12, nil, WithScalarScan(), WithImplicitScan())
+}
+
+func BenchmarkBroadcastAllPackedGenD16(b *testing.B) {
+	benchScan(b, 16, subset64(1<<16), WithImplicitScan())
 }

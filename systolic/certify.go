@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/delay"
+	"repro/internal/gossip"
+	"repro/internal/graph"
 )
 
 // DelayPlan is the compiled delay lowering of one protocol on one network:
@@ -31,6 +33,9 @@ type DelayPlan struct {
 // lowering. Pair it with WithDelayPlan to make every Certify over the same
 // schedule skip the digraph rebuild.
 func CompileDelayPlan(net *Network, p *Protocol) (*DelayPlan, error) {
+	if err := net.needG("delay plan on"); err != nil {
+		return nil, err
+	}
 	pl, err := delay.NewPlan(net.G, p)
 	if err != nil {
 		return nil, fmt.Errorf("systolic: delay plan on %s: %w", net.Name, err)
@@ -206,13 +211,97 @@ func Certify(ctx context.Context, net *Network, p *Protocol, opts ...Option) (*C
 // simulates it, and certifies the measurement against the broadcasting
 // lower bound. Budget-truncated runs yield Complete false with the bound
 // marked inapplicable.
+//
+// On an implicit network no BFS tree can be compiled, so certification
+// streams single-source flooding through the generator kernel instead:
+// under flooding the measured completion time is exactly the source's
+// directed eccentricity, which is simultaneously the certificate's
+// eccentricity floor — the certificate reports Mode "flooding" and holds
+// by construction on complete runs.
 func CertifyBroadcast(ctx context.Context, net *Network, source int, opts ...Option) (*Certificate, error) {
+	if net.Implicit() {
+		return certifyBroadcastImplicit(ctx, net, source, opts...)
+	}
 	sess, err := NewBroadcastEngine(net, source, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("systolic: certify broadcast on %s: %w", net.Name, err)
 	}
 	defer sess.Close()
 	return sess.Certify(ctx)
+}
+
+// certifyBroadcastImplicit certifies broadcast from source on an implicit
+// network by streaming single-source flooding (vertex-range sharded across
+// WithWorkers when the network clears the shard threshold).
+func certifyBroadcastImplicit(ctx context.Context, net *Network, source int, opts ...Option) (*Certificate, error) {
+	cfg := newConfig(opts)
+	if source < 0 || source >= net.N() {
+		return nil, fmt.Errorf("systolic: certify broadcast on %s: %w: source %d outside [0, %d)",
+			net.Name, ErrBadParam, source, net.N())
+	}
+	measured, complete, err := floodEccentricityGen(ctx, net, source, cfg)
+	if err != nil {
+		if errors.Is(err, ErrUnreachable) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("systolic: certify broadcast on %s: %w", net.Name, err)
+	}
+	// Flooding's completion time is the source eccentricity; on truncated
+	// runs no eccentricity is known and the floor stays at the
+	// information-theoretic part.
+	ecc := 0
+	if complete {
+		ecc = measured
+	}
+	c, lb := broadcastBoundEcc(net, ecc)
+	return &Certificate{
+		Network:  net.Name,
+		Mode:     "flooding",
+		Complete: complete,
+		Measured: measured,
+		Budget:   cfg.budget,
+		Broadcast: &BroadcastBound{
+			Source:     source,
+			C:          c,
+			CBound:     lb,
+			Applicable: complete,
+			Respected:  complete && measured >= lb,
+		},
+	}, nil
+}
+
+// floodEccentricityGen runs single-source generator flooding to completion,
+// stall, or the round budget: (rounds, true, nil) on completion — rounds is
+// the source's directed eccentricity — (budget, false, nil) on truncation,
+// and ErrUnreachable on a stalled frontier.
+func floodEccentricityGen(ctx context.Context, net *Network, source int, cfg config) (int, bool, error) {
+	n := net.N()
+	if n == 1 {
+		return 0, true, nil
+	}
+	var step packedStep
+	if cfg.workers > 1 && n >= cfg.shardThreshold {
+		step = shardedGenStep(net.Gen, n, cfg.workers)
+	} else {
+		fg := graph.NewFloodGen(net.Gen)
+		step = func(pf *gossip.PackedFrontier) (uint64, uint64, int) { return pf.StepFloodGen(fg) }
+	}
+	pf := gossip.NewPackedFrontier(n)
+	pf.Reset([]int{source})
+	for r := 1; r <= cfg.budget; r++ {
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
+		complete, changed, _ := step(pf)
+		if complete != 0 {
+			return r, true, nil
+		}
+		if changed == 0 {
+			return 0, false, fmt.Errorf("%w: certify broadcast on %s from source %d (frontier stalled after %d rounds)",
+				ErrUnreachable, net.Name, source, r-1)
+		}
+	}
+	return cfg.budget, false, nil
 }
 
 // Certify runs the session to completion (or its budget) and certifies the
@@ -284,7 +373,7 @@ func (s *Session) certifyGossip(ctx context.Context, op string, detailIncomplete
 	if complete {
 		cert.TheoremApplicable = true
 		if lambda > 0 {
-			cert.TheoremRespected = theorem41Holds(net.G.N(), res.Rounds, lambda)
+			cert.TheoremRespected = theorem41Holds(net.N(), res.Rounds, lambda)
 		} else {
 			// s=2: no norm root; the mode-specific s=2 bound is already
 			// folded into LowerBound.Rounds, so check the measurement
@@ -330,19 +419,26 @@ func (s *Session) certifyBroadcast(ctx context.Context, op string) (*Certificate
 // asymptotic constant c(d) with its certified finite-n floor (⌈log₂ n⌉, the
 // knowledge-doubling information bound) raised to the source eccentricity.
 func broadcastBound(net *Network, source int) (c float64, lb int) {
+	return broadcastBoundEcc(net, net.G.Eccentricity(source))
+}
+
+// broadcastBoundEcc is broadcastBound with the eccentricity supplied by the
+// caller — the form implicit certification uses, where the flooding
+// measurement itself is the eccentricity and no BFS is possible.
+func broadcastBoundEcc(net *Network, ecc int) (c float64, lb int) {
 	c = bounds.BroadcastConstant(net.DegreeParam)
 	if !math.IsInf(c, 1) {
 		lb = int(math.Ceil(c * net.LogN() * 0.999999))
 		// c(d)·log n is asymptotic; the unconditional finite-n facts are
 		// ⌈log₂ n⌉ and the source eccentricity. Use the weakest-safe floor:
 		// ⌈log₂ n⌉ (every round at most doubles the informed set).
-		if il := ceilLog2(net.G.N()); il < lb {
+		if il := ceilLog2(net.N()); il < lb {
 			lb = il // keep only the certified part
 		}
 	} else {
-		lb = ceilLog2(net.G.N())
+		lb = ceilLog2(net.N())
 	}
-	if ecc := net.G.Eccentricity(source); ecc > lb {
+	if ecc > lb {
 		lb = ecc
 	}
 	return c, lb

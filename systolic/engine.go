@@ -63,6 +63,9 @@ func NewEngine(net *Network, p *Protocol, opts ...Option) (*Session, error) {
 // backend (one bit per vertex — broadcasts never pay the gossip state's
 // n-words-per-vertex cost).
 func NewBroadcastEngine(net *Network, source int, opts ...Option) (*Session, error) {
+	if err := net.needG("broadcast engine on"); err != nil {
+		return nil, err
+	}
 	cfg := newConfig(opts)
 	n := net.G.N()
 	if source < 0 || source >= n {

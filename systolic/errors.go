@@ -2,6 +2,7 @@ package systolic
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/gossip"
 )
@@ -32,4 +33,19 @@ var (
 	// cannot reach every vertex, so no budget would ever complete the
 	// broadcast (deliberately distinct from ErrIncomplete).
 	ErrUnreachable = errors.New("systolic: source cannot reach every vertex")
+	// ErrImplicit is returned when an operation that walks explicit
+	// adjacency (protocol compilation, BFS schedules, delay digraphs,
+	// bound evaluation) is invoked on an implicit network — one built past
+	// the materialization threshold, carrying only an arithmetic
+	// generator. AnalyzeBroadcastAll and CertifyBroadcast stream such
+	// networks; everything else needs a materializable instance.
+	ErrImplicit = errors.New("systolic: operation requires a materialized network")
+	// ErrMemoryBudget is returned when a scan's estimated working memory
+	// exceeds the WithMaxMemory cap on every available kernel.
+	ErrMemoryBudget = errors.New("systolic: scan exceeds the memory budget")
 )
+
+// errImplicitOp wraps ErrImplicit with the failing operation and network.
+func errImplicitOp(op, name string) error {
+	return fmt.Errorf("systolic: %s %s: %w (implicit instance; AnalyzeBroadcastAll and CertifyBroadcast stream it)", op, name, ErrImplicit)
+}

@@ -11,14 +11,32 @@ import (
 // degree/diameter queries (see repro/internal/graph).
 type Digraph = graph.Digraph
 
+// ArcSource is a generator-backed arc supplier: neighbors computed from the
+// vertex id, the seam that lets broadcast scans stream networks too large
+// to materialize (see repro/internal/graph).
+type ArcSource = graph.ArcSource
+
 // Family classifies a network into one of the paper's Lemma 3.1 families.
 type Family = bounds.Family
 
 // Network is a concrete network instance: the digraph plus the metadata the
 // bound machinery needs (family classification and degree parameter).
+//
+// A network carries one or both representations of its arc set: G, the
+// materialized digraph every schedule compiler and bound evaluator walks,
+// and Gen, an arithmetic generator the streaming broadcast kernels compute
+// arcs from on the fly. Registry builders attach Gen alongside G for the
+// generator-eligible kinds, and build Gen-only ("implicit") instances past
+// the materialization threshold — those support AnalyzeBroadcastAll and
+// CertifyBroadcast (flooding is generator-computable) while everything
+// needing explicit adjacency returns ErrImplicit.
 type Network struct {
 	Name string
 	G    *Digraph
+	// Gen streams the same arc set as G arithmetically; non-nil for
+	// generator-eligible instances. When G is nil the network is implicit:
+	// Gen is its only representation.
+	Gen ArcSource
 	// Family is the paper family when the topology is one of Lemma 3.1's
 	// (BF, WBF→, WBF, DB, K); FamilyKnown is false otherwise.
 	Family      Family
@@ -41,6 +59,19 @@ func Classified(name string, g *Digraph, f Family, d int) *Network {
 	return &Network{Name: name, G: g, Family: f, FamilyKnown: true, DegreeParam: d}
 }
 
+// PlainImplicit wraps a generator as an implicit Network with no
+// paper-family classification. The degree parameter cannot be derived from
+// a generator (that would require a full sweep), so the caller supplies it.
+func PlainImplicit(name string, gen ArcSource, degreeParam int) *Network {
+	return &Network{Name: name, Gen: gen, DegreeParam: degreeParam}
+}
+
+// ClassifiedImplicit wraps a generator as an implicit Network belonging to
+// one of the paper's families.
+func ClassifiedImplicit(name string, gen ArcSource, f Family, d int) *Network {
+	return &Network{Name: name, Gen: gen, Family: f, FamilyKnown: true, DegreeParam: d}
+}
+
 func degreeParam(g *Digraph) int {
 	if g.IsSymmetric() {
 		d := g.MaxOutDeg() - 1
@@ -52,6 +83,31 @@ func degreeParam(g *Digraph) int {
 	return g.MaxOutDeg()
 }
 
+// N returns the vertex count, from whichever representation the network
+// carries.
+func (net *Network) N() int {
+	if net.G != nil {
+		return net.G.N()
+	}
+	return net.Gen.N()
+}
+
+// Implicit reports whether the network carries only a generator: no
+// materialized digraph exists, so operations needing explicit adjacency
+// (protocol compilation, BFS schedules, delay digraphs) return ErrImplicit
+// while the streaming broadcast scans work at any size.
+func (net *Network) Implicit() bool { return net.G == nil }
+
+// needG returns ErrImplicit (wrapped with the operation and network name)
+// when the network has no materialized digraph — the guard every
+// adjacency-walking entry point calls first.
+func (net *Network) needG(op string) error {
+	if net.G != nil {
+		return nil
+	}
+	return errImplicitOp(op, net.Name)
+}
+
 // LogN returns log₂(n) for the network, the unit in which the paper's
 // bounds are expressed.
-func (net *Network) LogN() float64 { return math.Log2(float64(net.G.N())) }
+func (net *Network) LogN() float64 { return math.Log2(float64(net.N())) }

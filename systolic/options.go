@@ -49,6 +49,8 @@ type config struct {
 	delayPlan      *DelayPlan
 	sources        []int
 	scalarScan     bool
+	implicitScan   bool
+	maxMemory      int64
 }
 
 func newConfig(opts []Option) config {
@@ -111,6 +113,25 @@ func WithSources(sources []int) Option { return func(c *config) { c.sources = so
 // benchmarked against. Reports and errors are identical either way; only
 // the speed differs (the packed kernel steps 64 sources per pass).
 func WithScalarScan() Option { return func(c *config) { c.scalarScan = true } }
+
+// WithImplicitScan forces AnalyzeBroadcastAll onto the streaming
+// generator kernel even when the network is materialized (it needs an
+// attached generator — ErrBadParam otherwise). Reports and errors are
+// identical to the CSR kernels; only the footprint differs: the generator
+// path never lowers the flooding CSR, so its working memory is the
+// frontier buffers alone. Without this option the scan picks the
+// streaming kernel automatically for implicit networks, for materialized
+// networks above DefaultImplicitScanNodes, and when the CSR would not fit
+// WithMaxMemory.
+func WithImplicitScan() Option { return func(c *config) { c.implicitScan = true } }
+
+// WithMaxMemory caps the estimated working memory of AnalyzeBroadcastAll
+// in bytes — the guard rail for serving layers that must not let one scan
+// balloon the process. A scan whose CSR kernel would exceed the cap falls
+// back to the streaming generator kernel (when the network carries one);
+// if every available kernel exceeds the cap the scan fails with
+// ErrMemoryBudget instead of allocating. Zero or negative means no cap.
+func WithMaxMemory(bytes int64) Option { return func(c *config) { c.maxMemory = bytes } }
 
 // WithDelayPlan hands Certify a pre-compiled delay lowering
 // (CompileDelayPlan / Program.DelayPlan) so repeated certifications of the

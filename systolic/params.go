@@ -151,22 +151,75 @@ func paramHint(name string) string {
 	return name
 }
 
-// maxInstanceVertices bounds how large an instance the registry will build;
-// beyond it the generators would allocate gigabytes or overflow.
+// maxInstanceVertices bounds how large a MATERIALIZED instance the
+// registry will build; beyond it the adjacency lists would allocate
+// gigabytes. Generator-eligible kinds keep building past this line as
+// implicit (generator-only) networks, up to maxImplicitVertices.
 const maxInstanceVertices = 1 << 26
 
+// maxImplicitVertices bounds implicit (generator-only) instances. The
+// streaming kernels carry only O(n) frontier words, so the ceiling is set
+// by frontier memory, not arcs: 2^28 vertices is 4 GiB of packed frontier
+// (two 8-byte words per vertex) — the practical edge of one scan on a
+// large box.
+const maxImplicitVertices = 1 << 28
+
+// DefaultImplicitScanNodes is the vertex count above which
+// AnalyzeBroadcastAll prefers the streaming generator kernels for networks
+// that carry both representations: past it the CSR lowering costs more
+// than the generator path saves. Registry-built networks at most this size
+// are always materialized, so the heuristic only fires for hand-built
+// Networks with an attached generator; force the streaming kernels at any
+// size with WithImplicitScan.
+const DefaultImplicitScanNodes = materializeThreshold
+
+// maxCompleteVertices caps the complete graph separately: K_n materializes
+// n² arcs, so the generic vertex ceiling would still admit gigabyte-scale
+// builds (n=8192 is already ~67M arcs). 2048² ≈ 4.2M arcs stays modest.
+const maxCompleteVertices = 2048
+
+// materializeThreshold is the vertex count above which generator-eligible
+// registry builders skip materialization and return an implicit network.
+// At or below it both representations are attached (G for schedule
+// compilers and bounds, Gen for the streaming kernels); above it only Gen.
+// 2^19 keeps every materialized build's adjacency-plus-arc-set footprint
+// modest and puts the 2^20-node hypercube (dimension 20) on the implicit
+// side — the scale tier's acceptance point.
+const materializeThreshold = 1 << 19
+
 // checkSize rejects parameterizations whose vertex count base^exp (times
-// factor) exceeds maxInstanceVertices, before the generator allocates.
+// factor) exceeds the limit, before the generator allocates.
 func checkSize(kind string, base, exp, factor int) error {
+	return checkSizeLimit(kind, base, exp, factor, maxInstanceVertices)
+}
+
+// checkImplicitSize is checkSize with the generator-only ceiling: used by
+// registry builders for generator-eligible kinds, which never allocate
+// adjacency and so tolerate far larger n.
+func checkImplicitSize(kind string, base, exp, factor int) error {
+	return checkSizeLimit(kind, base, exp, factor, maxImplicitVertices)
+}
+
+func checkSizeLimit(kind string, base, exp, factor, limit int) error {
 	n := factor
-	if n > maxInstanceVertices || n <= 0 {
-		return fmt.Errorf("%w: %s instance too large (> %d vertices)", ErrBadParam, kind, maxInstanceVertices)
+	if n > limit || n <= 0 {
+		return fmt.Errorf("%w: %s instance too large (> %d vertices)", ErrBadParam, kind, limit)
 	}
 	for i := 0; i < exp; i++ {
 		n *= base
-		if n > maxInstanceVertices || n <= 0 {
-			return fmt.Errorf("%w: %s instance too large (> %d vertices)", ErrBadParam, kind, maxInstanceVertices)
+		if n > limit || n <= 0 {
+			return fmt.Errorf("%w: %s instance too large (> %d vertices)", ErrBadParam, kind, limit)
 		}
 	}
 	return nil
+}
+
+// sizeOf computes factor·base^exp without overflow concerns after a
+// checkSizeLimit pass; callers use it to decide materialized vs implicit.
+func sizeOf(base, exp, factor int) int {
+	n := factor
+	for i := 0; i < exp; i++ {
+		n *= base
+	}
+	return n
 }

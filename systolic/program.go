@@ -27,6 +27,9 @@ type Program struct {
 // resulting Program (which retains the network) can back concurrent
 // sessions without racing on the digraph's lazy traversal sort.
 func CompileProtocol(net *Network, p *Protocol) (*Program, error) {
+	if err := net.needG("compile on"); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(net.G); err != nil {
 		return nil, err
 	}

@@ -89,6 +89,11 @@ func NewProtocol(name string, net *Network, budget int) (*Protocol, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w %q (accepted: %s)", ErrUnknownProtocol, name, strings.Join(ProtocolKinds(), ", "))
 	}
+	// Every catalog construction reads explicit adjacency (or at least the
+	// materialized vertex count the schedule is validated against).
+	if err := net.needG("protocol " + strings.ToLower(name) + " on"); err != nil {
+		return nil, err
+	}
 	return build(net, budget)
 }
 

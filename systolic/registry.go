@@ -134,19 +134,28 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		if err := checkSize("cycle", 1, 0, n); err != nil {
+		if err := checkImplicitSize("cycle", 1, 0, n); err != nil {
 			return nil, err
 		}
-		return Plain("cycle", topology.Cycle(n)), nil
+		gen := topology.NewCycleGen(n)
+		if n > materializeThreshold {
+			return PlainImplicit("cycle", gen, 1), nil
+		}
+		net := Plain("cycle", topology.Cycle(n))
+		net.Gen = gen
+		return net, nil
 	}})
 	Register("complete", Builder{Params: []string{ParamNodes}, Build: func(p Params) (*Network, error) {
 		n, err := p.atLeast("complete", ParamNodes, 1)
 		if err != nil {
 			return nil, err
 		}
-		// K_n has ~n² arcs; keep the quadratic allocation in check too.
-		if err := checkSize("complete", n, 1, n); err != nil {
-			return nil, err
+		// K_n materializes ~n² arcs and has no generator form worth
+		// streaming (every round informs everyone anyway), so the cap is
+		// much tighter than the vertex-count ceiling: n=8192 would already
+		// be a ~67M-arc, gigabyte-scale build.
+		if n > maxCompleteVertices {
+			return nil, fmt.Errorf("%w: complete instance too large (> %d vertices; K_n materializes n² arcs)", ErrBadParam, maxCompleteVertices)
 		}
 		return Plain("complete", topology.Complete(n)), nil
 	}})
@@ -155,10 +164,16 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		if err := checkSize("hypercube", 2, D, 1); err != nil {
+		if err := checkImplicitSize("hypercube", 2, D, 1); err != nil {
 			return nil, err
 		}
-		return Plain("hypercube", topology.Hypercube(D)), nil
+		gen := topology.NewHypercubeGen(D)
+		if sizeOf(2, D, 1) > materializeThreshold {
+			return PlainImplicit("hypercube", gen, max(D-1, 1)), nil
+		}
+		net := Plain("hypercube", topology.Hypercube(D))
+		net.Gen = gen
+		return net, nil
 	}})
 	Register("grid", Builder{Params: []string{ParamRows, ParamCols}, Build: func(p Params) (*Network, error) {
 		a, err := p.atLeast("grid", ParamRows, 1)
@@ -183,10 +198,16 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		if err := checkSize("torus", b, 1, a); err != nil {
+		if err := checkImplicitSize("torus", b, 1, a); err != nil {
 			return nil, err
 		}
-		return Plain("torus", topology.Torus(a, b)), nil
+		gen := topology.NewTorusGen(a, b)
+		if a*b > materializeThreshold {
+			return PlainImplicit("torus", gen, 3), nil
+		}
+		net := Plain("torus", topology.Torus(a, b))
+		net.Gen = gen
+		return net, nil
 	}})
 	Register("tree", Builder{Params: []string{ParamDegree, ParamDepth}, Build: func(p Params) (*Network, error) {
 		d, err := p.atLeast("tree", ParamDegree, 1)
@@ -217,21 +238,34 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		if err := checkSize("ccc", 2, D, D); err != nil {
+		if err := checkImplicitSize("ccc", 2, D, D); err != nil {
 			return nil, err
 		}
-		return Plain("ccc", topology.CCC(D)), nil
+		gen := topology.NewCCCGen(D)
+		if sizeOf(2, D, D) > materializeThreshold {
+			return PlainImplicit("ccc", gen, 2), nil
+		}
+		net := Plain("ccc", topology.CCC(D))
+		net.Gen = gen
+		return net, nil
 	}})
 	Register("butterfly", Builder{Params: []string{ParamDegree, ParamDiameter}, Build: func(p Params) (*Network, error) {
 		d, D, err := degreeDiameter(p, "butterfly", 2, 1)
 		if err != nil {
 			return nil, err
 		}
-		if err := checkSize("butterfly", d, D, D+1); err != nil {
+		if err := checkImplicitSize("butterfly", d, D, D+1); err != nil {
 			return nil, err
 		}
+		name := fmt.Sprintf("BF(%d,%d)", d, D)
+		gen := topology.NewButterflyGen(d, D)
+		if sizeOf(d, D, D+1) > materializeThreshold {
+			return ClassifiedImplicit(name, gen, bounds.BF, d), nil
+		}
 		bf := topology.NewButterfly(d, D)
-		return Classified(fmt.Sprintf("BF(%d,%d)", d, D), bf.G, bounds.BF, d), nil
+		net := Classified(name, bf.G, bounds.BF, d)
+		net.Gen = gen
+		return net, nil
 	}})
 	Register("wbf", Builder{Params: []string{ParamDegree, ParamDiameter}, Build: func(p Params) (*Network, error) {
 		d, D, err := degreeDiameter(p, "wbf", 2, 2)
@@ -260,44 +294,72 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		if err := checkSize("debruijn", d, D, 1); err != nil {
+		if err := checkImplicitSize("debruijn", d, D, 1); err != nil {
 			return nil, err
 		}
+		name := fmt.Sprintf("DB(%d,%d)", d, D)
+		gen := topology.NewDeBruijnGen(d, D, false)
+		if sizeOf(d, D, 1) > materializeThreshold {
+			return ClassifiedImplicit(name, gen, bounds.DB, d), nil
+		}
 		db := topology.NewDeBruijn(d, D)
-		return Classified(fmt.Sprintf("DB(%d,%d)", d, D), db.G, bounds.DB, d), nil
+		net := Classified(name, db.G, bounds.DB, d)
+		net.Gen = gen
+		return net, nil
 	}})
 	Register("debruijn-digraph", Builder{Params: []string{ParamDegree, ParamDiameter}, Build: func(p Params) (*Network, error) {
 		d, D, err := degreeDiameter(p, "debruijn-digraph", 2, 2)
 		if err != nil {
 			return nil, err
 		}
-		if err := checkSize("debruijn-digraph", d, D, 1); err != nil {
+		if err := checkImplicitSize("debruijn-digraph", d, D, 1); err != nil {
 			return nil, err
 		}
+		name := fmt.Sprintf("DB->(%d,%d)", d, D)
+		gen := topology.NewDeBruijnGen(d, D, true)
+		if sizeOf(d, D, 1) > materializeThreshold {
+			return ClassifiedImplicit(name, gen, bounds.DB, d), nil
+		}
 		db := topology.NewDeBruijnDigraph(d, D)
-		return Classified(fmt.Sprintf("DB->(%d,%d)", d, D), db.G, bounds.DB, d), nil
+		net := Classified(name, db.G, bounds.DB, d)
+		net.Gen = gen
+		return net, nil
 	}})
 	Register("kautz", Builder{Params: []string{ParamDegree, ParamDiameter}, Build: func(p Params) (*Network, error) {
 		d, D, err := degreeDiameter(p, "kautz", 2, 2)
 		if err != nil {
 			return nil, err
 		}
-		if err := checkSize("kautz", d, D, d+1); err != nil {
+		if err := checkImplicitSize("kautz", d, D, d+1); err != nil {
 			return nil, err
 		}
+		name := fmt.Sprintf("K(%d,%d)", d, D)
+		gen := topology.NewKautzGen(d, D, false)
+		if sizeOf(d, D, d+1) > materializeThreshold {
+			return ClassifiedImplicit(name, gen, bounds.Kautz, d), nil
+		}
 		k := topology.NewKautz(d, D)
-		return Classified(fmt.Sprintf("K(%d,%d)", d, D), k.G, bounds.Kautz, d), nil
+		net := Classified(name, k.G, bounds.Kautz, d)
+		net.Gen = gen
+		return net, nil
 	}})
 	Register("kautz-digraph", Builder{Params: []string{ParamDegree, ParamDiameter}, Build: func(p Params) (*Network, error) {
 		d, D, err := degreeDiameter(p, "kautz-digraph", 2, 2)
 		if err != nil {
 			return nil, err
 		}
-		if err := checkSize("kautz-digraph", d, D, d+1); err != nil {
+		if err := checkImplicitSize("kautz-digraph", d, D, d+1); err != nil {
 			return nil, err
 		}
+		name := fmt.Sprintf("K->(%d,%d)", d, D)
+		gen := topology.NewKautzGen(d, D, true)
+		if sizeOf(d, D, d+1) > materializeThreshold {
+			return ClassifiedImplicit(name, gen, bounds.Kautz, d), nil
+		}
 		k := topology.NewKautzDigraph(d, D)
-		return Classified(fmt.Sprintf("K->(%d,%d)", d, D), k.G, bounds.Kautz, d), nil
+		net := Classified(name, k.G, bounds.Kautz, d)
+		net.Gen = gen
+		return net, nil
 	}})
 }
 

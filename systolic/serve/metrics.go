@@ -34,6 +34,7 @@ type Metrics struct {
 	scenarioTruncated atomic.Int64 // scenario trials censored at their round budget
 
 	broadcastSources atomic.Int64 // sources measured by broadcast scans
+	implicitScans    atomic.Int64 // broadcast scans streamed on implicit (generator-only) networks
 }
 
 func newMetrics() *Metrics {
@@ -72,6 +73,7 @@ type Snapshot struct {
 	ScenarioTruncated int64 `json:"scenario_trials_truncated"`
 
 	BroadcastSources int64 `json:"broadcast_sources"`
+	ImplicitScans    int64 `json:"implicit_scans"`
 }
 
 // HitRatio returns cache hits over cache-answerable lookups, 0 when none
@@ -107,6 +109,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		ScenarioTruncated: m.scenarioTruncated.Load(),
 
 		BroadcastSources: m.broadcastSources.Load(),
+		ImplicitScans:    m.implicitScans.Load(),
 	}
 	m.mu.Lock()
 	for ep, c := range m.requests {
@@ -150,6 +153,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("gossipd_scenario_trials_total", "Monte-Carlo scenario trials executed.", s.ScenarioTrials)
 	counter("gossipd_scenario_trials_truncated_total", "Scenario trials censored at their round budget.", s.ScenarioTruncated)
 	counter("gossipd_broadcast_sources_total", "Sources measured by all-sources/subset broadcast scans.", s.BroadcastSources)
+	counter("gossipd_implicit_scans_total", "Broadcast scans streamed on implicit (generator-only) networks.", s.ImplicitScans)
 	gauge("gossipd_inflight_sessions", "Computations currently holding a worker.", s.Inflight)
 	gauge("gossipd_queue_depth", "Computations waiting for a worker.", s.Queued)
 	fmt.Fprintf(w, "# HELP gossipd_cache_hit_ratio Cache hits over cache lookups.\n")

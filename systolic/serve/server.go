@@ -40,6 +40,13 @@ type Config struct {
 	SpoolDir string
 	// MaxSweepJobs bounds the grid size of one sweep request (default 256).
 	MaxSweepJobs int
+	// MaxScanNodes bounds the vertex count of one broadcast scan (default
+	// 2^24, the largest instance whose streaming scan is known to stay
+	// under a gigabyte). Implicit (generator-only) networks make huge
+	// instances cheap to *build*, so the guard moved from construction
+	// time to scan admission: a /v1/broadcast scan request on a larger
+	// network answers 400.
+	MaxScanNodes int
 	// MaxJobs bounds async jobs held in memory (default 1024).
 	MaxJobs int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
@@ -70,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.MaxScanNodes <= 0 {
+		c.MaxScanNodes = 1 << 24
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
@@ -292,8 +302,11 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	case errors.As(err, &br),
 		errors.Is(err, systolic.ErrBadParam),
 		errors.Is(err, systolic.ErrUnknownTopology),
-		errors.Is(err, systolic.ErrUnknownProtocol):
+		errors.Is(err, systolic.ErrUnknownProtocol),
+		errors.Is(err, systolic.ErrImplicit):
 		status = http.StatusBadRequest
+	case errors.Is(err, systolic.ErrMemoryBudget):
+		status = http.StatusUnprocessableEntity
 	case errors.Is(err, errSaturated):
 		status = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
@@ -588,6 +601,9 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 		}
 		opts := []systolic.Option{systolic.WithRoundBudget(n.budget), s.roundsObserver()}
 		if n.allSources || n.sourceList != nil {
+			if nv := net.N(); nv > s.cfg.MaxScanNodes {
+				return nil, badRequestf("scan on %d vertices exceeds the server's MaxScanNodes limit %d", nv, s.cfg.MaxScanNodes)
+			}
 			if n.sourceList != nil {
 				opts = append(opts, systolic.WithSources(n.sourceList))
 			}
@@ -596,6 +612,9 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			s.metrics.broadcastSources.Add(int64(len(rep.Rounds)))
+			if net.Implicit() {
+				s.metrics.implicitScans.Add(1)
+			}
 			return rep, nil
 		}
 		return systolic.AnalyzeBroadcast(ctx, net, n.source, opts...)

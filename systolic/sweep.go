@@ -108,7 +108,7 @@ func runSweepJob(ctx context.Context, job SweepJob, res *SweepResult, cfg config
 		return
 	}
 	res.Network = net.Name
-	res.N = net.G.N()
+	res.N = net.N()
 	if job.Protocol == nil {
 		res.Err = ErrUnknownProtocol
 		return
