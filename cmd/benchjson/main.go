@@ -8,16 +8,25 @@
 //
 // Repeated runs of one benchmark (-count) aggregate into a single entry
 // holding the minimum ns/op (the noise-robust statistic), the mean, and the
-// B/op / allocs/op of the fastest run.
+// B/op / allocs/op of the fastest run. Pass -gate to embed the baseline's
+// gate list (the benchmarks later checks hold it responsible for).
 //
 // Check (compares a candidate conversion against the baseline):
 //
 //	benchjson -check -baseline BENCH_PR3.json -candidate new.json \
 //	    -require BenchmarkStep,BenchmarkFrontierStep -threshold 20
 //
+// With no -require the check gates on the baseline's own "gate" list (the
+// benchmarks the baseline declares itself responsible for), falling back to
+// every benchmark the baseline holds — so CI can loop one identical check
+// step over all BENCH_*.json files.
+//
 // The check fails (exit 1) when a required benchmark is missing from either
 // file, its candidate ns/op exceeds the baseline by more than -threshold
 // percent, or its allocs/op grew at all (the hot paths are pinned at zero).
+//
+// Custom b.ReportMetric values ("bytes/node", "rounds", …) are preserved
+// under each benchmark's "extra" map, taken from the fastest repetition.
 package main
 
 import (
@@ -28,30 +37,36 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// Suite is the JSON document: benchmark name → aggregated result.
+// Suite is the JSON document: benchmark name → aggregated result, plus the
+// gate list a -check with no -require reads its required names from.
 type Suite struct {
 	Schema     int               `json:"schema"`
+	Gate       []string          `json:"gate,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
 // Result aggregates the repetitions of one benchmark.
 type Result struct {
-	Pkg      string  `json:"pkg,omitempty"`
-	NsOp     float64 `json:"ns_op"`      // minimum across repetitions
-	NsOpMean float64 `json:"ns_op_mean"` // mean across repetitions
-	BOp      int64   `json:"b_op"`       // of the fastest repetition
-	AllocsOp int64   `json:"allocs_op"`  // of the fastest repetition
-	Samples  int     `json:"samples"`
+	Pkg      string             `json:"pkg,omitempty"`
+	NsOp     float64            `json:"ns_op"`      // minimum across repetitions
+	NsOpMean float64            `json:"ns_op_mean"` // mean across repetitions
+	BOp      int64              `json:"b_op"`       // of the fastest repetition
+	AllocsOp int64              `json:"allocs_op"`  // of the fastest repetition
+	Samples  int                `json:"samples"`
+	Extra    map[string]float64 `json:"extra,omitempty"` // custom metrics, fastest repetition
 }
 
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?$`)
 
 // parseBench reads `go test -bench` output and aggregates it into a Suite.
+// A result line is the benchmark name, the iteration count, then
+// value-unit pairs in any order (custom b.ReportMetric units can appear
+// between the standard ones, so the pairs are walked, not pattern-matched).
 func parseBench(r io.Reader) (*Suite, error) {
 	suite := &Suite{Schema: 1, Benchmarks: make(map[string]Result)}
 	sums := make(map[string]float64)
@@ -64,21 +79,43 @@ func parseBench(r io.Reader) (*Suite, error) {
 			pkg = strings.TrimSpace(rest)
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		m := benchName.FindStringSubmatch(fields[0])
 		if m == nil {
 			continue
 		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
 		name := m[1]
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %v", line, err)
-		}
+		var ns float64
 		var bop, allocs int64
-		if m[3] != "" {
-			bop, _ = strconv.ParseInt(m[3], 10, 64)
+		var extra map[string]float64
+		nsSeen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				ns, nsSeen = v, true
+			case "B/op":
+				bop = int64(v)
+			case "allocs/op":
+				allocs = int64(v)
+			default:
+				if extra == nil {
+					extra = make(map[string]float64)
+				}
+				extra[unit] = v
+			}
 		}
-		if m[4] != "" {
-			allocs, _ = strconv.ParseInt(m[4], 10, 64)
+		if !nsSeen {
+			continue
 		}
 		res, seen := suite.Benchmarks[name]
 		if !seen || ns < res.NsOp {
@@ -86,6 +123,7 @@ func parseBench(r io.Reader) (*Suite, error) {
 			res.BOp = bop
 			res.AllocsOp = allocs
 			res.Pkg = pkg
+			res.Extra = extra
 		}
 		res.Samples++
 		sums[name] += ns
@@ -133,6 +171,28 @@ func checkRegressions(baseline, candidate *Suite, require []string, thresholdPct
 	return violations
 }
 
+// gateNames resolves the benchmarks a check gates on: an explicit -require
+// list wins, then the baseline's own gate declaration, then every benchmark
+// the baseline holds (sorted, so runs are reproducible).
+func gateNames(require string, baseline *Suite) []string {
+	if require != "" {
+		names := strings.Split(require, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		return names
+	}
+	if len(baseline.Gate) > 0 {
+		return baseline.Gate
+	}
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func loadSuite(path string) (*Suite, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -166,8 +226,10 @@ func main() {
 	out := flag.String("out", "-", "output path for the converted JSON (- = stdout)")
 	baselinePath := flag.String("baseline", "", "baseline suite JSON (check mode)")
 	candidatePath := flag.String("candidate", "", "candidate suite JSON (check mode)")
-	require := flag.String("require", "BenchmarkStep,BenchmarkFrontierStep",
-		"comma-separated benchmarks the check gates on")
+	require := flag.String("require", "",
+		"comma-separated benchmarks the check gates on (default: the baseline's gate list, else every baseline benchmark)")
+	gate := flag.String("gate", "",
+		"comma-separated gate list embedded in the converted JSON (convert mode)")
 	threshold := flag.Float64("threshold", 20, "allowed ns/op regression percentage")
 	flag.Parse()
 
@@ -183,10 +245,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		names := strings.Split(*require, ",")
-		for i := range names {
-			names[i] = strings.TrimSpace(names[i])
-		}
+		names := gateNames(*require, baseline)
 		violations := checkRegressions(baseline, candidate, names, *threshold)
 		for _, name := range names {
 			if b, ok := baseline.Benchmarks[name]; ok {
@@ -209,6 +268,15 @@ func main() {
 	suite, err := parseBench(os.Stdin)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *gate != "" {
+		for _, name := range strings.Split(*gate, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := suite.Benchmarks[name]; !ok {
+				fatalf("gate entry %s is not in the converted run", name)
+			}
+			suite.Gate = append(suite.Gate, name)
+		}
 	}
 	if err := writeSuite(*out, suite); err != nil {
 		fatalf("%v", err)

@@ -109,3 +109,46 @@ func TestCheckRegressions(t *testing.T) {
 		t.Errorf("missing baseline entries not flagged: %v", v)
 	}
 }
+
+func TestParseBenchExtraMetrics(t *testing.T) {
+	// Custom b.ReportMetric units land between ns/op and the -benchmem
+	// columns; the pair walk must keep all three standard fields and
+	// preserve the custom one from the fastest repetition.
+	out := `pkg: repro/internal/gossip
+BenchmarkGenProgramStep-8	  100	 15000 ns/op	 4.250 bytes/node	 8 B/op	 1 allocs/op
+BenchmarkGenProgramStep-8	  100	 14000 ns/op	 4.500 bytes/node	 0 B/op	 0 allocs/op
+`
+	suite, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := suite.Benchmarks["BenchmarkGenProgramStep"]
+	if res.NsOp != 14000 || res.BOp != 0 || res.AllocsOp != 0 || res.Samples != 2 {
+		t.Fatalf("standard fields parsed wrong: %+v", res)
+	}
+	if res.Extra["bytes/node"] != 4.5 {
+		t.Fatalf("extra metric of fastest repetition = %v, want 4.5", res.Extra)
+	}
+}
+
+func TestGateNames(t *testing.T) {
+	baseline := &Suite{
+		Gate: []string{"BenchmarkB", "BenchmarkA"},
+		Benchmarks: map[string]Result{
+			"BenchmarkA": {}, "BenchmarkB": {}, "BenchmarkC": {},
+		},
+	}
+	// Explicit -require wins over the baseline's gate.
+	if got := gateNames("BenchmarkC, BenchmarkA", baseline); len(got) != 2 || got[0] != "BenchmarkC" || got[1] != "BenchmarkA" {
+		t.Fatalf("explicit require: %v", got)
+	}
+	// Empty -require reads the baseline's gate list, order preserved.
+	if got := gateNames("", baseline); len(got) != 2 || got[0] != "BenchmarkB" || got[1] != "BenchmarkA" {
+		t.Fatalf("baseline gate: %v", got)
+	}
+	// A gate-less baseline gates on everything it holds, sorted.
+	baseline.Gate = nil
+	if got := gateNames("", baseline); len(got) != 3 || got[0] != "BenchmarkA" || got[2] != "BenchmarkC" {
+		t.Fatalf("fallback gate: %v", got)
+	}
+}

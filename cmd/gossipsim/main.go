@@ -32,14 +32,16 @@
 //	gossipsim -topology hypercube -dimension 10 -protocol periodic-full \
 //	  -loss 0.05 -seed 1 -trials 256
 //
-// Scale mode (-implicit) skips protocols entirely and streams a 64-source
-// eccentricity scan through the generator kernel — the arcs are computed on
-// the fly, never materialized — reporting the round profile, wall time and
-// heap footprint. Past the materialization threshold the registry builds
-// such topologies implicitly anyway, so this demonstrates instances far
-// beyond what adjacency lists could hold:
+// Scale mode (-implicit) streams everything through the generator kernel —
+// the arcs are computed on the fly, never materialized. It runs two demos
+// back to back: a 64-source eccentricity scan (round profile, wall time,
+// heap footprint), then a simulation of -protocol compiled to a generator
+// program (rounds, resident set size, arcs streamed per round). Past the
+// materialization threshold the registry builds such topologies implicitly
+// anyway, so this demonstrates instances far beyond what adjacency lists
+// could hold:
 //
-//	gossipsim -topology hypercube -dimension 24 -implicit   # 16.7M nodes, ~400M arcs
+//	gossipsim -topology hypercube -dimension 24 -implicit -protocol hypercube
 //
 // -cpuprofile FILE and -memprofile FILE write pprof profiles for any mode.
 package main
@@ -82,7 +84,7 @@ func main() {
 	deleteArcs := flag.String("delete", "", "scenario: deleted arcs, comma-separated from>to")
 	seed := flag.Uint64("seed", 0, "scenario: PRNG seed (part of the distribution's identity)")
 	trials := flag.Int("trials", 0, "scenario: Monte-Carlo trial count (any scenario flag implies 64)")
-	implicitDemo := flag.Bool("implicit", false, "stream a 64-source eccentricity scan through the generator kernel instead of simulating a protocol")
+	implicitDemo := flag.Bool("implicit", false, "scale demo: stream a 64-source eccentricity scan plus a generator-program protocol simulation, arcs computed on the fly")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file when the run ends")
 	flag.Parse()
@@ -138,7 +140,7 @@ func main() {
 	}
 
 	if *implicitDemo {
-		runImplicitDemo(net, *budget)
+		runImplicitDemo(net, *proto, *budget)
 		return
 	}
 
@@ -268,7 +270,7 @@ func main() {
 // topology; past the materialization threshold the network is implicit and
 // would stream anyway, below it WithImplicitScan forces the streaming
 // kernel so the demo is honest at any size.
-func runImplicitDemo(net *systolic.Network, budget int) {
+func runImplicitDemo(net *systolic.Network, proto string, budget int) {
 	if net.Gen == nil {
 		fatalf("-implicit needs a generator-eligible topology (hypercube, cycle, torus, ccc, butterfly, debruijn[-digraph], kautz[-digraph])")
 	}
@@ -296,6 +298,76 @@ func runImplicitDemo(net *systolic.Network, budget int) {
 	fmt.Printf("rounds:     worst=%d (source %d) best=%d (source %d) mean=%.2f\n",
 		rep.Worst, rep.WorstSource, rep.Best, rep.BestSource, rep.MeanRounds)
 	fmt.Printf("memory:     heap in use %d MiB, total from OS %d MiB\n", ms.HeapInuse>>20, ms.Sys>>20)
+	runImplicitProtocol(net, proto, budget)
+}
+
+// runImplicitProtocol is the second half of the scale demo: it compiles
+// -protocol to a generator program — every round's exchange arcs computed
+// from the vertex id, never stored — simulates the broadcast to completion
+// and prints rounds, resident set size and arcs streamed per round. Below
+// the materialization threshold the network is re-wrapped as implicit so
+// the demo exercises the streaming path at any size.
+func runImplicitProtocol(net *systolic.Network, proto string, budget int) {
+	demo := net
+	if !net.Implicit() {
+		imp := systolic.PlainImplicit(net.Name, net.Gen, net.DegreeParam)
+		imp.Sched = net.Sched
+		demo = imp
+	}
+	p, err := systolic.NewProtocol(proto, demo, budget)
+	if err != nil {
+		fmt.Printf("protocol:   %s does not compile to a generator program (eligible: %s)\n",
+			proto, strings.Join(systolic.GenProtocolKinds(), ", "))
+		return
+	}
+	pr, err := systolic.CompileProtocol(demo, p)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	gp := pr.GenProgram()
+	sess, err := systolic.NewEngineFromProgram(pr, systolic.WithRoundBudget(budget))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer sess.Close()
+	start := time.Now()
+	rep, err := sess.AnalyzeBroadcast(context.Background())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	elapsed := time.Since(start)
+	var arcs, periodArcs int64
+	for r := 0; r < rep.Measured; r++ {
+		arcs += int64(gp.RoundArcs(r))
+	}
+	for r := 0; r < gp.Period(); r++ {
+		periodArcs += int64(gp.RoundArcs(r))
+	}
+	perRound := float64(arcs) / float64(max(rep.Measured, 1))
+	fmt.Printf("protocol:   %s (%v mode, period %d) as generator program %s\n",
+		proto, p.Mode, p.Period, gp.Fingerprint())
+	fmt.Printf("simulated:  broadcast from source %d in %d rounds ≥ certified bound %d (%v)\n",
+		rep.Source, rep.Measured, rep.CBound, elapsed.Round(time.Millisecond))
+	fmt.Printf("streamed:   %d arcs total, %.0f arcs/round, 0 stored (a CSR program would hold ~%d MiB)\n",
+		arcs, perRound, periodArcs*16>>20)
+	fmt.Printf("memory:     resident set %d MiB\n", rssBytes()>>20)
+}
+
+// rssBytes reports the process's resident set size from /proc/self/statm,
+// falling back to the Go runtime's OS-reserved total where procfs is
+// unavailable.
+func rssBytes() int64 {
+	if b, err := os.ReadFile("/proc/self/statm"); err == nil {
+		fields := strings.Fields(string(b))
+		if len(fields) >= 2 {
+			if pages, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+				return pages * int64(os.Getpagesize())
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
 }
 
 // writeMemProfile snapshots the heap into path (after a GC, so the profile

@@ -149,3 +149,54 @@ func genStepLeaky(src arcSource, cur, nxt []uint64, lo, hi int) {
 		nxt[v] = w
 	}
 }
+
+// The generator-program shape: periodic schedules evaluated per round
+// through a sender oracle (round → each vertex's unique sender). The chunk
+// scratch belongs to the worker, filled and consumed range by range.
+
+type roundSource interface {
+	Sender(r, v int) int
+}
+
+type dimOrder struct{ d int }
+
+// Sender is a concrete schedule generator: pure arithmetic on the vertex
+// id, verified as its own root.
+//
+//gossip:hotpath
+func (s dimOrder) Sender(r, v int) int { return v ^ (1 << (r % s.d)) }
+
+//gossip:hotpath
+func genProgramStep(rs roundSource, r int, cur, nxt []uint64, senders []int32, lo, hi int) {
+	for c := lo; c < hi; c += len(senders) {
+		end := c + len(senders)
+		if end > hi {
+			end = hi
+		}
+		for v := c; v < end; v++ {
+			senders[v-c] = int32(rs.Sender(r, v))
+		}
+		for v := c; v < end; v++ {
+			if s := senders[v-c]; s >= 0 {
+				nxt[v] = cur[v] | cur[s]
+			}
+		}
+	}
+}
+
+// genProgramStepLeaky seeds the allocating generator-program step the
+// analyzer must fire on: the sender chunk is allocated inside the round
+// step instead of living in the per-worker run state.
+//
+//gossip:hotpath
+func genProgramStepLeaky(rs roundSource, r int, cur, nxt []uint64, lo, hi int) {
+	senders := make([]int32, 4096) // want `make of a slice allocates`
+	for v := lo; v < hi; v++ {
+		senders[v-lo] = int32(rs.Sender(r, v))
+	}
+	for v := lo; v < hi; v++ {
+		if s := senders[v-lo]; s >= 0 {
+			nxt[v] = cur[v] | cur[s]
+		}
+	}
+}

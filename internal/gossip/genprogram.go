@@ -1,0 +1,318 @@
+package gossip
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// This file holds the generator-compiled schedule program: the streaming
+// counterpart of the CSR Program for periodic protocols whose rounds are
+// arithmetic in the vertex id (dimension-order hypercube exchange, stride
+// rounds on cycles and tori, …). A GenProgram never materializes an arc:
+// each round's senders are recomputed from a graph.RoundSource as the step
+// walks the frontier, so memory per worker is the frontier words plus one
+// fixed chunk buffer — independent of the arc count, which is what lets a
+// d=24 hypercube broadcast simulate in a few hundred MiB where its CSR
+// Program alone would need ~6 GiB. Execution is differential-pinned
+// byte-identical to StepProgram over the Compile of Materialize().
+
+// GenProgram is an immutable compiled schedule over a generator: the
+// round → sender map of a periodic protocol, plus the mode and period that
+// identify it. One GenProgram is shared by every worker of a simulation;
+// the mutable per-worker scratch lives in GenRun.
+type GenProgram struct {
+	rs     graph.RoundSource
+	sc     graph.SenderChunker // non-nil when rs implements the chunk fast path
+	mode   Mode
+	n      int
+	period int
+
+	fpOnce sync.Once
+	fp     string
+}
+
+// CompileGen lowers a generator-backed periodic schedule into a GenProgram.
+// The round source must describe a systolic protocol (period >= 1) whose
+// rounds are matchings — the structural invariant every schedule generator
+// in internal/topology guarantees by construction.
+//
+//gossip:allowpanic compile-time guard: schedule generators guarantee period >= 1 by construction
+func CompileGen(rs graph.RoundSource, mode Mode) *GenProgram {
+	if rs.Rounds() < 1 {
+		panic(fmt.Sprintf("gossip: generator schedule has period %d, want >= 1", rs.Rounds()))
+	}
+	g := &GenProgram{rs: rs, mode: mode, n: rs.N(), period: rs.Rounds()}
+	if sc, ok := rs.(graph.SenderChunker); ok {
+		g.sc = sc
+	}
+	return g
+}
+
+// N returns the vertex count the program was compiled for.
+func (g *GenProgram) N() int { return g.n }
+
+// Period returns the schedule period.
+func (g *GenProgram) Period() int { return g.period }
+
+// Mode returns the communication mode the schedule was compiled under.
+func (g *GenProgram) Mode() Mode { return g.mode }
+
+// Source returns the underlying round source.
+func (g *GenProgram) Source() graph.RoundSource { return g.rs }
+
+// RoundArcs counts the arcs round r (mod the period) streams — destinations
+// with a sender. It walks the round once; callers wanting per-round traffic
+// stats should cache the result.
+func (g *GenProgram) RoundArcs(r int) int {
+	if r < 0 {
+		return 0
+	}
+	r %= g.period
+	arcs := 0
+	for v := 0; v < g.n; v++ {
+		if g.rs.Sender(r, v) >= 0 {
+			arcs++
+		}
+	}
+	return arcs
+}
+
+// Fingerprint returns the schedule identity: the same FNV-1a hash
+// Protocol.Fingerprint computes over the materialized rounds, streamed
+// from the generator in destination-major order. It equals
+// Materialize().Fingerprint() by construction, so checkpoints and caches
+// keyed by fingerprint are interchangeable between the generator-compiled
+// and CSR-compiled forms of one schedule. The hash is computed on first
+// use (two generator passes per round) and memoized.
+func (g *GenProgram) Fingerprint() string {
+	g.fpOnce.Do(func() { g.fp = g.fingerprint() })
+	return g.fp
+}
+
+// FNV-1a constants, matching hash/fnv's 64-bit variant.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvWord folds an integer into h exactly as Protocol.Fingerprint's
+// little-endian 8-byte write does.
+func fnvWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func (g *GenProgram) fingerprint() string {
+	h := uint64(fnvOffset64)
+	h = fnvWord(h, uint64(g.mode))
+	h = fnvWord(h, uint64(g.period))
+	h = fnvWord(h, uint64(g.period)) // len(Rounds) of the materialized protocol
+	run := NewGenRun(g)
+	for r := 0; r < g.period; r++ {
+		h = fnvWord(h, uint64(run.countRound(r)))
+		h = run.foldRound(r, h)
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// Materialize expands the program into the explicit Protocol it streams:
+// round r holds one arc sender → v per informed destination, in ascending
+// destination order. The result compiles to the CSR Program the
+// differential tests pin StepGenProgram against, and is how the protocol
+// catalog builds schedule-generator protocols on materialized networks.
+func (g *GenProgram) Materialize() *Protocol {
+	run := NewGenRun(g)
+	rounds := make([][]graph.Arc, g.period)
+	for r := range rounds {
+		round := make([]graph.Arc, 0, run.countRound(r))
+		for v := 0; v < g.n; v++ {
+			if s := g.rs.Sender(r, v); s >= 0 {
+				round = append(round, graph.Arc{From: s, To: v})
+			}
+		}
+		rounds[r] = round
+	}
+	return &Protocol{Rounds: rounds, Period: g.period, Mode: g.mode}
+}
+
+// countRound returns the number of arcs in round r via the chunk fast path.
+func (gr *GenRun) countRound(r int) int {
+	g := gr.prog
+	if gr.buf == nil {
+		return g.RoundArcs(r)
+	}
+	arcs := 0
+	for lo := 0; lo < g.n; lo += graph.GenChunkVerts {
+		hi := min(lo+graph.GenChunkVerts, g.n)
+		buf := gr.buf[:hi-lo]
+		g.sc.SenderChunk(r, lo, hi, buf)
+		for _, s := range buf {
+			if s >= 0 {
+				arcs++
+			}
+		}
+	}
+	return arcs
+}
+
+// foldRound folds round r's arcs into the FNV state in destination-major
+// order, matching how Protocol.Fingerprint hashes the materialized round.
+func (gr *GenRun) foldRound(r int, h uint64) uint64 {
+	g := gr.prog
+	if gr.buf == nil {
+		for v := 0; v < g.n; v++ {
+			if s := g.rs.Sender(r, v); s >= 0 {
+				h = fnvWord(h, uint64(s))
+				h = fnvWord(h, uint64(v))
+			}
+		}
+		return h
+	}
+	for lo := 0; lo < g.n; lo += graph.GenChunkVerts {
+		hi := min(lo+graph.GenChunkVerts, g.n)
+		buf := gr.buf[:hi-lo]
+		g.sc.SenderChunk(r, lo, hi, buf)
+		for i, s := range buf {
+			if s >= 0 {
+				h = fnvWord(h, uint64(s))
+				h = fnvWord(h, uint64(lo+i))
+			}
+		}
+	}
+	return h
+}
+
+// GenRun is the per-worker execution scratch of a GenProgram: the chunk
+// buffer the sender fast path fills. One GenRun per worker; the GenProgram
+// itself is shared and immutable. Allocation happens here, once — the
+// subsequent stepping performs zero allocations.
+type GenRun struct {
+	prog *GenProgram
+	buf  []int32 // sender chunk scratch; nil without the fast path
+}
+
+// NewGenRun returns worker-private scratch for g.
+func NewGenRun(g *GenProgram) *GenRun {
+	gr := &GenRun{prog: g}
+	if g.sc != nil {
+		gr.buf = make([]int32, graph.GenChunkVerts)
+	}
+	return gr
+}
+
+// Program returns the compiled program the scratch belongs to.
+func (gr *GenRun) Program() *GenProgram { return gr.prog }
+
+// StepGenProgram applies execution round i of a generator-compiled program
+// to the packed broadcast frontier and returns the number of newly
+// informed vertices. It is byte-identical to StepProgram(Compile(
+// Materialize()), i): an arc sender → v informs v iff sender was informed
+// at the beginning of the round.
+//
+//gossip:allowpanic pairing guard: the session layer establishes program/state compatibility
+//gossip:hotpath
+func (f *FrontierState) StepGenProgram(gr *GenRun, i int) int {
+	g := gr.prog
+	if g.n != f.n {
+		panic(fmt.Sprintf("gossip: generator program compiled for n=%d executed on frontier n=%d", g.n, f.n))
+	}
+	if i < 0 {
+		return 0
+	}
+	copy(f.prev, f.informed)
+	r := i % g.period
+	gained := 0
+	if gr.buf != nil {
+		for lo := 0; lo < f.n; lo += graph.GenChunkVerts {
+			hi := min(lo+graph.GenChunkVerts, f.n)
+			buf := gr.buf[:hi-lo]
+			g.sc.SenderChunk(r, lo, hi, buf)
+			for j, s := range buf {
+				if s >= 0 && f.prev.has(int(s)) {
+					if v := lo + j; !f.informed.has(v) {
+						f.informed.set(v)
+						gained++
+					}
+				}
+			}
+		}
+	} else {
+		rs := g.rs
+		for v := 0; v < f.n; v++ {
+			if s := rs.Sender(r, v); s >= 0 && f.prev.has(s) && !f.informed.has(v) {
+				f.informed.set(v)
+				gained++
+			}
+		}
+	}
+	f.know += gained
+	return gained
+}
+
+// StepGenProgramRange computes the next-round words for destinations
+// [lo, hi) of execution round i only: the vertex-range shard of a
+// generator-compiled packed step, mirroring StepFloodGenRange. Shards of
+// one round partition [0, n) across workers (disjoint writes to the next
+// buffer, read-only current buffer), each using its own GenRun; when every
+// shard has returned, exactly one caller must CommitStep, and the round's
+// (complete, changed, informed) are the AND / OR / sum of the shard
+// results, with complete and changed masked by Full.
+//
+//gossip:hotpath
+func (f *PackedFrontier) StepGenProgramRange(gr *GenRun, i, lo, hi int) (and, changed uint64, informed int) {
+	g := gr.prog
+	cur, nxt := f.cur, f.next
+	and = ^uint64(0)
+	r := i % g.period
+	if gr.buf != nil {
+		for clo := lo; clo < hi; clo += graph.GenChunkVerts {
+			chi := min(clo+graph.GenChunkVerts, hi)
+			buf := gr.buf[:chi-clo]
+			g.sc.SenderChunk(r, clo, chi, buf)
+			for j, s := range buf {
+				v := clo + j
+				pv := cur[v]
+				w := pv
+				if s >= 0 {
+					w |= cur[s]
+				}
+				nxt[v] = w
+				changed |= w ^ pv
+				and &= w
+				informed += bits.OnesCount64(w)
+			}
+		}
+		return and, changed, informed
+	}
+	rs := g.rs
+	for v := lo; v < hi; v++ {
+		pv := cur[v]
+		w := pv
+		if s := rs.Sender(r, v); s >= 0 {
+			w |= cur[s]
+		}
+		nxt[v] = w
+		changed |= w ^ pv
+		and &= w
+		informed += bits.OnesCount64(w)
+	}
+	return and, changed, informed
+}
+
+// StepGenProgram advances every lane one round of the generator-compiled
+// schedule: the single-worker convenience over StepGenProgramRange +
+// CommitStep.
+//
+//gossip:hotpath
+func (f *PackedFrontier) StepGenProgram(gr *GenRun, i int) (complete, changed uint64, informed int) {
+	and, ch, informed := f.StepGenProgramRange(gr, i, 0, f.n)
+	f.CommitStep()
+	return and & f.full, ch & f.full, informed
+}

@@ -1,0 +1,75 @@
+package gossip_test
+
+import (
+	"testing"
+
+	"repro/internal/gossip"
+	"repro/internal/topology"
+)
+
+// The generator-program-vs-CSR step pair on hypercube d=12: the same
+// dimension-order exchange schedule, one executing the lowered CSR Program
+// (fused arc pairs in memory) and one recomputing each round's senders
+// from the vertex id. Each reports its resident footprint as bytes/node:
+// the CSR Program carries ~8 bytes per fused pair per round on top of the
+// frontier bits, the generator's scratch is one fixed chunk buffer. The
+// BENCH_PR10 gate holds the generator step within the accepted ratio of
+// the CSR step (see .github/workflows/ci.yml).
+
+func genProgramBenchSchedule() *gossip.GenProgram {
+	sched := topology.NewSchedule(topology.NewHypercubeClasses(12))
+	return gossip.CompileGen(sched.FullDuplex(), gossip.FullDuplex)
+}
+
+// BenchmarkGenProgramStep measures the generator-compiled frontier step:
+// hypercube d=12, senders computed per chunk, zero allocations.
+func BenchmarkGenProgramStep(b *testing.B) {
+	gen := genProgramBenchSchedule()
+	n := gen.N()
+	run := gossip.NewGenRun(gen)
+	fr := gossip.NewFrontierState(n, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.StepGenProgram(run, i)
+	}
+	// After ResetTimer, which deletes user metrics.
+	b.ReportMetric(float64(2*(n/8)+4*4096)/float64(n), "bytes/node")
+}
+
+// BenchmarkGenProgramStepCSR is the materialized reference: the identical
+// schedule lowered to a CSR Program and executed by the compiled frontier
+// step.
+func BenchmarkGenProgramStepCSR(b *testing.B) {
+	gen := genProgramBenchSchedule()
+	n := gen.N()
+	prog, err := gossip.Compile(gen.Materialize(), n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fr := gossip.NewFrontierState(n, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.StepProgram(prog, i)
+	}
+	// One fused exchange (8 bytes) per vertex per round, period d rounds,
+	// on top of the two frontier bitsets.
+	b.ReportMetric(float64(2*(n/8)+8*(n/2)*12)/float64(n), "bytes/node")
+}
+
+// BenchmarkPackedStepGenProgram measures the 64-lane generator-program
+// step on hypercube d=12 — the kernel the per-source certification scan
+// drives.
+func BenchmarkPackedStepGenProgram(b *testing.B) {
+	gen := genProgramBenchSchedule()
+	n := gen.N()
+	run := gossip.NewGenRun(gen)
+	pf := packedBenchSetup(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf.StepGenProgram(run, i)
+	}
+	b.ReportMetric(float64(16*n+4*4096)/float64(n), "bytes/node")
+}

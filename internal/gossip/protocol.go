@@ -63,6 +63,13 @@ type Protocol struct {
 	Rounds [][]graph.Arc
 	Period int
 	Mode   Mode
+
+	// Gen, when non-nil with no explicit Rounds, backs the protocol with a
+	// generator-compiled schedule: rounds are computed from the vertex id
+	// at execution time instead of stored (Period then equals
+	// Gen.Period()). Gen.Materialize() recovers the explicit form;
+	// Fingerprint is identical either way.
+	Gen *GenProgram
 }
 
 // NewSystolic returns an s-systolic protocol cycling through rounds.
@@ -100,6 +107,9 @@ func (p *Protocol) Round(i int) []graph.Arc {
 // explicit round — with FNV-1a into the 16-hex-digit identity that ties
 // checkpoints to their protocol and keys compiled-program caches.
 func (p *Protocol) Fingerprint() string {
+	if p.Gen != nil && len(p.Rounds) == 0 {
+		return p.Gen.Fingerprint()
+	}
 	h := fnv.New64a()
 	var word [8]byte
 	put := func(v int) {

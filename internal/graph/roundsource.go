@@ -1,0 +1,43 @@
+package graph
+
+// RoundSource is a generator-backed periodic schedule: the implicit
+// counterpart of an explicit protocol's round list. Implementations compute
+// who informs a vertex in a given round arithmetically from the vertex id
+// (hypercube round r exchanges along dimension r mod d; cycle and torus
+// rounds are fixed strides), so executing a schedule over a RoundSource
+// never holds an arc slice in memory — the seam that lets the schedule
+// compiler run periodic protocols on networks whose CSR Program would not
+// fit in RAM.
+//
+// Contract: Sender(r, v) returns the vertex that informs v in round
+// r (mod Rounds()), or -1 when v receives nothing that round. Because the
+// paper's rounds are matchings (each processor talks to at most one
+// neighbor per round), a single sender per destination is fully general;
+// full-duplex exchanges appear as mutual sender pairs (Sender(r, u) == v
+// and Sender(r, v) == u). Results must be deterministic and
+// implementations safe for concurrent use (one RoundSource is shared by
+// every worker of a sharded step) and allocation-free (the schedule steps
+// are //gossip:hotpath).
+type RoundSource interface {
+	// N returns the number of vertices.
+	N() int
+	// Rounds returns the schedule period (>= 1).
+	Rounds() int
+	// Sender returns the vertex that informs v in round r, or -1.
+	// r must lie in [0, Rounds()); callers reduce absolute round numbers
+	// modulo the period first.
+	Sender(r, v int) int
+}
+
+// SenderChunker is the optional fast path of the generator schedule step: a
+// RoundSource that implements it fills a whole chunk of destinations per
+// call, replacing the per-vertex Sender round trip with a
+// topology-specialized inner loop (a hypercube chunk is one xor per
+// vertex — the interface dispatch amortizes to nothing over
+// GenChunkVerts destinations).
+type SenderChunker interface {
+	// SenderChunk writes Sender(r, v) into out[v-lo] for each v in
+	// [lo, hi). It must not allocate and must be safe for concurrent use
+	// on disjoint chunks. len(out) >= hi-lo.
+	SenderChunk(r, lo, hi int, out []int32)
+}

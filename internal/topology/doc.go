@@ -35,4 +35,29 @@
 // arithmetic), and the wrapped butterfly's level-wrap duplicates arcs at
 // D = 2 — both could grow generators later with per-vertex dedup like
 // DeBruijnGen's, but nothing at their useful sizes needs streaming yet.
+//
+// # Schedule-generator eligibility
+//
+// Streaming a flooding scan needs only arcs; running a periodic protocol
+// needs rounds — a proper edge coloring whose class c partners are
+// computable from the vertex id (schedules.go, ExchangeClasses). Five
+// families carry one:
+//
+//   - hypercube — HypercubeClasses: class c flips bit c (dimension order)
+//   - cycle — CycleClasses: odd/even stride matchings (2 or 3 classes)
+//   - torus — TorusClasses: cycle matchings per axis
+//   - ccc — CCCClasses: cycle matchings on the rings plus the cube class
+//   - butterfly — ButterflyClasses: straight and cross matchings per level
+//
+// For those, Schedule derives the periodic-full/-half/-interleaved
+// protocols as graph.RoundSources and the schedule compiler
+// (gossip.CompileGen) executes them with arcs computed per chunk — so the
+// systolic catalog compiles their canonical protocols on implicit
+// instances without materializing anything. De Bruijn and Kautz graphs
+// are scan-eligible but NOT schedule-eligible: their matching partition
+// comes from graph.GreedyEdgeColoring, which orders edges by the built
+// arc slice — the classes are data-dependent, not arithmetic — so their
+// periodic protocols keep requiring the materialized builders, and the
+// systolic layer answers ErrImplicit (naming the eligible set) when one
+// is requested on an implicit instance.
 package topology

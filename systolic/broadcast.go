@@ -110,6 +110,13 @@ type BroadcastAllReport struct {
 	// count of sources per distinct round value, ascending.
 	MeanRounds float64        `json:"mean_rounds"`
 	Histogram  []RoundsBucket `json:"rounds_histogram"`
+	// Bound is the per-source certification floor: the c(d)·log₂ n lower
+	// bound evaluated against every scanned source's measurement during the
+	// scan's summary pass (Source is -1; MinRounds/MaxRounds bracket the
+	// measurements; Violations counts sources below the floor). It points
+	// into boundStore so summaries stay allocation-free beyond the report.
+	Bound      *BroadcastBound `json:"bound,omitempty"`
+	boundStore BroadcastBound
 }
 
 // AnalyzeBroadcastAll measures the flooding broadcast time from every
@@ -171,7 +178,7 @@ func AnalyzeBroadcastAll(ctx context.Context, net *Network, opts ...Option) (*Br
 	if err != nil {
 		return nil, err
 	}
-	rep.summarize(sources)
+	rep.summarize(net, sources)
 	return rep, nil
 }
 
@@ -270,10 +277,15 @@ func scanSources(net *Network, sources []int) (list []int, explicit bool, err er
 	return list, true, nil
 }
 
-// summarize fills the extremes and the eccentricity statistics from the
-// measured rounds. Ties keep the earliest scanned source, so reports are
-// independent of the kernel and worker count.
-func (r *BroadcastAllReport) summarize(sources []int) {
+// summarize fills the extremes, the eccentricity statistics and the
+// per-source certification floor from the measured rounds — one pass over
+// the per-source scan results. Ties keep the earliest scanned source, so
+// reports are independent of the kernel and worker count.
+func (r *BroadcastAllReport) summarize(net *Network, sources []int) {
+	c, lb := broadcastBoundEcc(net, 0)
+	bound := &r.boundStore
+	*bound = BroadcastBound{Source: -1, C: c, CBound: lb, Applicable: true,
+		ScannedSources: len(r.Rounds), MinRounds: r.Rounds[0], MaxRounds: r.Rounds[0]}
 	r.Best, r.Worst = r.Rounds[0], r.Rounds[0]
 	r.BestSource, r.WorstSource = sources[0], sources[0]
 	sum := 0
@@ -285,7 +297,17 @@ func (r *BroadcastAllReport) summarize(sources []int) {
 		if rounds < r.Best {
 			r.Best, r.BestSource = rounds, sources[i]
 		}
+		if rounds < lb {
+			if bound.Violations == 0 {
+				src := sources[i]
+				bound.ViolatingSource = &src
+			}
+			bound.Violations++
+		}
 	}
+	bound.MinRounds, bound.MaxRounds = r.Best, r.Worst
+	bound.Respected = bound.Violations == 0
+	r.Bound = bound
 	r.MeanRounds = float64(sum) / float64(len(r.Rounds))
 	counts := make([]int, r.Worst+1)
 	for _, rounds := range r.Rounds {

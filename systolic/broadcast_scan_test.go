@@ -301,3 +301,69 @@ func TestBroadcastScanTraceSeam(t *testing.T) {
 		}
 	}
 }
+
+// TestBroadcastAllBound pins the per-source certification floor the scan
+// now evaluates in its summary pass: the c(d)·log₂n floor (its certified
+// finite-n part) is computed once, every source's measured rounds are
+// compared against it, and the report surfaces the extremes plus the first
+// violating source. Both kernels and the sharded path must agree.
+func TestBroadcastAllBound(t *testing.T) {
+	ctx := context.Background()
+	// Hypercube d=5: every eccentricity is 5 = ⌈log₂ 32⌉, so the floor is
+	// met with equality from every source.
+	net, err := New("hypercube", Dimension(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bounds []*BroadcastBound
+	for _, opts := range [][]Option{nil, {WithScalarScan()}, {WithWorkers(4)}} {
+		rep, err := AnalyzeBroadcastAll(ctx, net, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := rep.Bound
+		if b == nil {
+			t.Fatal("scan report carries no bound summary")
+		}
+		if b.Source != -1 || !b.Applicable || b.ScannedSources != 32 {
+			t.Fatalf("bound header: %+v", b)
+		}
+		if b.MinRounds != rep.Best || b.MaxRounds != rep.Worst || b.MinRounds != 5 || b.MaxRounds != 5 {
+			t.Fatalf("bound extremes %d..%d, scan %d..%d, want 5..5", b.MinRounds, b.MaxRounds, rep.Best, rep.Worst)
+		}
+		if !b.Respected || b.Violations != 0 || b.ViolatingSource != nil {
+			t.Fatalf("hypercube floor should hold everywhere: %+v", b)
+		}
+		if b.CBound != 5 {
+			t.Fatalf("certified floor %d, want 5", b.CBound)
+		}
+		bounds = append(bounds, b)
+	}
+	for i, b := range bounds[1:] {
+		if *b != *bounds[0] {
+			t.Fatalf("kernel %d bound diverges: %+v vs %+v", i+1, b, bounds[0])
+		}
+	}
+
+	// Complete graph n=16: flooding reaches everyone in one round, below
+	// the ⌈log₂ 16⌉ = 4 information floor of matching-model broadcast, so
+	// every source violates and the first one is named.
+	net, err = New("complete", Nodes(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeBroadcastAll(ctx, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.Bound
+	if b == nil || b.Respected || b.Violations != 16 {
+		t.Fatalf("complete-graph scan should violate the floor everywhere: %+v", b)
+	}
+	if b.ViolatingSource == nil || *b.ViolatingSource != 0 {
+		t.Fatalf("first violating source: %+v", b.ViolatingSource)
+	}
+	if b.MinRounds != 1 || b.MaxRounds != 1 || b.CBound != 4 {
+		t.Fatalf("complete-graph extremes %d..%d floor %d, want 1..1 floor 4", b.MinRounds, b.MaxRounds, b.CBound)
+	}
+}

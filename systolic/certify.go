@@ -94,8 +94,23 @@ type BroadcastBound struct {
 	// Applicable is false when the run was budget-truncated: a prefix
 	// measurement certifies nothing about b(G).
 	Applicable bool `json:"applicable"`
-	// Respected reports Measured ≥ CBound (only when Applicable).
+	// Respected reports Measured ≥ CBound (only when Applicable). On a
+	// per-source bound it reports every scanned source respecting the floor.
 	Respected bool `json:"respected"`
+
+	// The remaining fields summarize the per-source floor evaluation of an
+	// all-sources scan (AnalyzeBroadcastAll.Bound): the floor is checked
+	// against every scanned source's measured time inside the scan's summary
+	// pass, Source is -1, and MinRounds/MaxRounds bracket the measurements.
+	// Single-source certificates leave them zero/omitted.
+	ScannedSources int `json:"scanned_sources,omitempty"`
+	MinRounds      int `json:"min_rounds,omitempty"`
+	MaxRounds      int `json:"max_rounds,omitempty"`
+	// Violations counts sources measured below the floor (zero if the bound
+	// holds — the expected outcome) and ViolatingSource identifies the first
+	// scanned source below it, present only when Violations > 0.
+	Violations      int  `json:"floor_violations,omitempty"`
+	ViolatingSource *int `json:"violating_source,omitempty"`
 }
 
 // Certificate is the typed outcome of the certification pipeline: the
@@ -397,7 +412,18 @@ func (s *Session) certifyBroadcast(ctx context.Context, op string) (*Certificate
 		}
 		complete = false
 	}
-	c, lb := broadcastBound(net, s.source)
+	var c float64
+	var lb int
+	if net.Implicit() {
+		// No BFS is possible on an implicit network, so the floor keeps its
+		// run-independent information-theoretic part only. Protocol
+		// dissemination time is not an eccentricity (rounds activate one
+		// matching, not every arc), so — unlike flooding certificates — the
+		// measurement cannot substitute for it.
+		c, lb = broadcastBoundEcc(net, 0)
+	} else {
+		c, lb = broadcastBound(net, s.source)
+	}
 	return &Certificate{
 		Network:  net.Name,
 		Mode:     s.proto.Mode.String(),

@@ -54,6 +54,17 @@ const (
 	checkpointModeBroadcast = "broadcast"
 )
 
+// scheduleFingerprint returns the fingerprint of the schedule the session
+// executes, whichever IR backs it: the generator program streams its hash,
+// a CSR program reports the compiled protocol's. The two coincide for the
+// same schedule, so checkpoints move freely between the forms.
+func (s *Session) scheduleFingerprint() string {
+	if s.grun != nil {
+		return s.grun.Program().Fingerprint()
+	}
+	return s.prog.Fingerprint()
+}
+
 // Snapshot captures the session's current state as a checkpoint. The
 // session can keep stepping afterwards; the checkpoint is independent.
 func (s *Session) Snapshot() *Checkpoint {
@@ -61,12 +72,12 @@ func (s *Session) Snapshot() *Checkpoint {
 		Version:   CheckpointVersion,
 		Network:   s.net.Name,
 		Mode:      checkpointModeGossip,
-		N:         s.net.G.N(),
+		N:         s.net.N(),
 		Source:    -1,
 		Round:     s.round,
 		Done:      s.done,
 		Knowledge: s.Knowledge(),
-		Protocol:  s.prog.Fingerprint(),
+		Protocol:  s.scheduleFingerprint(),
 		Frontier:  s.Frontier(),
 	}
 	var payload []byte
@@ -99,8 +110,8 @@ func (s *Session) Restore(c *Checkpoint) error {
 	if c.Mode != mode {
 		return fmt.Errorf("%w: checkpoint is for %s, session is %s", ErrBadCheckpoint, c.Mode, mode)
 	}
-	if c.N != s.net.G.N() {
-		return fmt.Errorf("%w: checkpoint has n=%d, network %s has n=%d", ErrBadCheckpoint, c.N, s.net.Name, s.net.G.N())
+	if c.N != s.net.N() {
+		return fmt.Errorf("%w: checkpoint has n=%d, network %s has n=%d", ErrBadCheckpoint, c.N, s.net.Name, s.net.N())
 	}
 	if c.Network != s.net.Name {
 		return fmt.Errorf("%w: checkpoint is for network %q, session runs on %q", ErrBadCheckpoint, c.Network, s.net.Name)
@@ -108,7 +119,7 @@ func (s *Session) Restore(c *Checkpoint) error {
 	if s.broadcast && c.Source != s.source {
 		return fmt.Errorf("%w: checkpoint broadcasts from %d, session from %d", ErrBadCheckpoint, c.Source, s.source)
 	}
-	if fp := s.prog.Fingerprint(); c.Protocol != fp {
+	if fp := s.scheduleFingerprint(); c.Protocol != fp {
 		return fmt.Errorf("%w: checkpoint was taken under protocol %s, session runs %s", ErrBadCheckpoint, c.Protocol, fp)
 	}
 	if c.Round < 0 {
@@ -120,7 +131,7 @@ func (s *Session) Restore(c *Checkpoint) error {
 	}
 	// Decode into scratch backends; the session is only touched once every
 	// check below has passed.
-	n := s.net.G.N()
+	n := s.net.N()
 	var (
 		st       *gossip.State
 		fr       *gossip.FrontierState

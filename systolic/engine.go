@@ -31,6 +31,7 @@ type Session struct {
 	broadcast bool
 	source    int
 	prog      *gossip.Program       // compiled schedule IR, shared by every backend
+	grun      *gossip.GenRun        // generator-program scratch; non-nil streams rounds
 	st        *gossip.State         // gossip backend
 	fr        *gossip.FrontierState // broadcast backend (packed frontier)
 	pool      *gossip.Pool
@@ -158,7 +159,11 @@ func (s *Session) Step(ctx context.Context, k int) (int, error) {
 		}
 		var gained int
 		if s.broadcast {
-			gained = s.fr.StepProgram(s.prog, s.round)
+			if s.grun != nil {
+				gained = s.fr.StepGenProgram(s.grun, s.round)
+			} else {
+				gained = s.fr.StepProgram(s.prog, s.round)
+			}
 		} else {
 			before := s.st.TotalKnowledge()
 			s.st.StepProgram(s.prog, s.round)
@@ -179,7 +184,7 @@ func (s *Session) Step(ctx context.Context, k int) (int, error) {
 // ErrIncomplete) and returns the cumulative result. Resuming a restored
 // session counts its restored rounds in Result.Rounds.
 func (s *Session) Run(ctx context.Context) (Result, error) {
-	n := s.net.G.N()
+	n := s.net.N()
 	for !s.done {
 		k := s.budget - s.round
 		if k <= 0 {

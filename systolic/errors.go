@@ -46,6 +46,9 @@ var (
 )
 
 // errImplicitOp wraps ErrImplicit with the failing operation and network.
+// The hint names what an implicit instance does support: the streaming
+// broadcast scans, and the generator-compiled protocol subset on
+// schedule-carrying kinds.
 func errImplicitOp(op, name string) error {
-	return fmt.Errorf("systolic: %s %s: %w (implicit instance; AnalyzeBroadcastAll and CertifyBroadcast stream it)", op, name, ErrImplicit)
+	return fmt.Errorf("systolic: %s %s: %w (implicit instance; AnalyzeBroadcastAll and CertifyBroadcast stream it, and the cycle2, hypercube, periodic-full, periodic-half and periodic-interleaved protocols compile to generator programs on cycle, hypercube, torus, ccc and butterfly)", op, name, ErrImplicit)
 }

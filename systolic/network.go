@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/graph"
+	"repro/internal/topology"
 )
 
 // Digraph is the network substrate: a digraph with adjacency lists, BFS and
@@ -37,6 +38,13 @@ type Network struct {
 	// generator-eligible instances. When G is nil the network is implicit:
 	// Gen is its only representation.
 	Gen ArcSource
+	// Sched is the exchange-class schedule generator of the topology:
+	// a proper edge coloring computed from the vertex id, from which the
+	// periodic protocol catalog derives generator-compiled programs (rounds
+	// computed, not stored). Registry builders attach it for the
+	// schedule-eligible kinds (cycle, hypercube, torus, ccc, butterfly);
+	// nil means only explicit protocols apply.
+	Sched *topology.Schedule
 	// Family is the paper family when the topology is one of Lemma 3.1's
 	// (BF, WBF→, WBF, DB, K); FamilyKnown is false otherwise.
 	Family      Family

@@ -47,6 +47,7 @@ type config struct {
 	workers        int
 	shardThreshold int
 	delayPlan      *DelayPlan
+	source         int
 	sources        []int
 	scalarScan     bool
 	implicitScan   bool
@@ -97,6 +98,15 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // Results are byte-identical to serial either way; lower it only to force
 // sharding on small instances (tests do).
 func WithShardThreshold(n int) Option { return func(c *config) { c.shardThreshold = n } }
+
+// WithSource selects the broadcast source vertex (default 0) of a session
+// running a generator-backed protocol — those sessions simulate
+// single-source dissemination on the packed frontier, and this is the seam
+// that picks the source without re-compiling the program. Out-of-range
+// sources fail session construction with ErrBadParam. Gossip sessions and
+// the explicit-source entry points (NewBroadcastEngine, CertifyBroadcast)
+// ignore it.
+func WithSource(v int) Option { return func(c *config) { c.source = v } }
 
 // WithSources restricts AnalyzeBroadcastAll to the given source vertices,
 // in the given order: the report's Rounds[i] measures Sources[i], and the

@@ -7,7 +7,9 @@ import (
 	"strings"
 
 	"repro/internal/gossip"
+	"repro/internal/graph"
 	"repro/internal/protocols"
+	"repro/internal/topology"
 )
 
 // Protocol is a sequence of communication rounds (Definition 3.1), possibly
@@ -81,17 +83,74 @@ func ProtocolKinds() []string {
 	return ks
 }
 
+// GenProtocolKinds lists the protocol names that compile to generator
+// programs on schedule-carrying networks — the catalog subset that works on
+// implicit instances.
+func GenProtocolKinds() []string {
+	return []string{"cycle2", "hypercube", "periodic-full", "periodic-half", "periodic-interleaved"}
+}
+
+// genSchedule maps a catalog protocol name onto the network's exchange-class
+// schedule, when the pair is generator-eligible: the periodic colorings work
+// on any schedule-carrying kind, while the structured constructions
+// ("hypercube", "cycle2") additionally require the matching class shape. The
+// greedy heuristics and round-robin are data-dependent on explicit adjacency
+// and are never eligible.
+func genSchedule(name string, net *Network) (graph.RoundSource, Mode, bool) {
+	sched := net.Sched
+	if sched == nil {
+		return nil, 0, false
+	}
+	switch name {
+	case "periodic-full":
+		return sched.FullDuplex(), FullDuplex, true
+	case "periodic-half":
+		return sched.HalfDuplex(), HalfDuplex, true
+	case "periodic-interleaved":
+		return sched.Interleaved(), HalfDuplex, true
+	case "hypercube":
+		// The dimension-order exchange is exactly the full-duplex walk of
+		// the hypercube's coordinate classes.
+		if _, ok := sched.ExchangeClasses().(*topology.HypercubeClasses); ok {
+			return sched.FullDuplex(), FullDuplex, true
+		}
+	case "cycle2":
+		if _, ok := sched.ExchangeClasses().(*topology.CycleClasses); ok {
+			if n := net.N(); n >= 4 && n%2 == 0 {
+				return topology.NewCycleTwoPhase(n), Directed, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
 // NewProtocol builds a named protocol for the network. The budget caps the
 // construction cost of the greedy heuristics; the periodic constructions
 // ignore it.
+//
+// On a schedule-carrying network the generator-eligible names (see
+// GenProtocolKinds) compile from the exchange-class schedule instead of
+// walking adjacency: an implicit network gets a generator-backed protocol
+// (rounds computed at execution time — the only protocol form an implicit
+// instance can run), a materialized one gets the identical schedule in
+// explicit form (same fingerprint, byte-identical rounds). Ineligible names
+// on an implicit network return ErrImplicit naming the eligible set.
 func NewProtocol(name string, net *Network, budget int) (*Protocol, error) {
-	build, ok := protocolCatalog[strings.ToLower(name)]
+	kind := strings.ToLower(name)
+	build, ok := protocolCatalog[kind]
 	if !ok {
 		return nil, fmt.Errorf("%w %q (accepted: %s)", ErrUnknownProtocol, name, strings.Join(ProtocolKinds(), ", "))
 	}
-	// Every catalog construction reads explicit adjacency (or at least the
-	// materialized vertex count the schedule is validated against).
-	if err := net.needG("protocol " + strings.ToLower(name) + " on"); err != nil {
+	if rs, mode, ok := genSchedule(kind, net); ok {
+		gen := gossip.CompileGen(rs, mode)
+		if net.Implicit() {
+			return &Protocol{Gen: gen, Period: gen.Period(), Mode: mode}, nil
+		}
+		return gen.Materialize(), nil
+	}
+	// Every remaining catalog construction reads explicit adjacency (or at
+	// least the materialized vertex count the schedule is validated against).
+	if err := net.needG("protocol " + kind + " on"); err != nil {
 		return nil, err
 	}
 	return build(net, budget)

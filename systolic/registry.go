@@ -138,11 +138,15 @@ func init() {
 			return nil, err
 		}
 		gen := topology.NewCycleGen(n)
+		sched := topology.NewSchedule(topology.NewCycleClasses(n))
 		if n > materializeThreshold {
-			return PlainImplicit("cycle", gen, 1), nil
+			net := PlainImplicit("cycle", gen, 1)
+			net.Sched = sched
+			return net, nil
 		}
 		net := Plain("cycle", topology.Cycle(n))
 		net.Gen = gen
+		net.Sched = sched
 		return net, nil
 	}})
 	Register("complete", Builder{Params: []string{ParamNodes}, Build: func(p Params) (*Network, error) {
@@ -168,11 +172,15 @@ func init() {
 			return nil, err
 		}
 		gen := topology.NewHypercubeGen(D)
+		sched := topology.NewSchedule(topology.NewHypercubeClasses(D))
 		if sizeOf(2, D, 1) > materializeThreshold {
-			return PlainImplicit("hypercube", gen, max(D-1, 1)), nil
+			net := PlainImplicit("hypercube", gen, max(D-1, 1))
+			net.Sched = sched
+			return net, nil
 		}
 		net := Plain("hypercube", topology.Hypercube(D))
 		net.Gen = gen
+		net.Sched = sched
 		return net, nil
 	}})
 	Register("grid", Builder{Params: []string{ParamRows, ParamCols}, Build: func(p Params) (*Network, error) {
@@ -202,11 +210,15 @@ func init() {
 			return nil, err
 		}
 		gen := topology.NewTorusGen(a, b)
+		sched := topology.NewSchedule(topology.NewTorusClasses(a, b))
 		if a*b > materializeThreshold {
-			return PlainImplicit("torus", gen, 3), nil
+			net := PlainImplicit("torus", gen, 3)
+			net.Sched = sched
+			return net, nil
 		}
 		net := Plain("torus", topology.Torus(a, b))
 		net.Gen = gen
+		net.Sched = sched
 		return net, nil
 	}})
 	Register("tree", Builder{Params: []string{ParamDegree, ParamDepth}, Build: func(p Params) (*Network, error) {
@@ -242,11 +254,15 @@ func init() {
 			return nil, err
 		}
 		gen := topology.NewCCCGen(D)
+		sched := topology.NewSchedule(topology.NewCCCClasses(D))
 		if sizeOf(2, D, D) > materializeThreshold {
-			return PlainImplicit("ccc", gen, 2), nil
+			net := PlainImplicit("ccc", gen, 2)
+			net.Sched = sched
+			return net, nil
 		}
 		net := Plain("ccc", topology.CCC(D))
 		net.Gen = gen
+		net.Sched = sched
 		return net, nil
 	}})
 	Register("butterfly", Builder{Params: []string{ParamDegree, ParamDiameter}, Build: func(p Params) (*Network, error) {
@@ -259,12 +275,16 @@ func init() {
 		}
 		name := fmt.Sprintf("BF(%d,%d)", d, D)
 		gen := topology.NewButterflyGen(d, D)
+		sched := topology.NewSchedule(topology.NewButterflyClasses(d, D))
 		if sizeOf(d, D, D+1) > materializeThreshold {
-			return ClassifiedImplicit(name, gen, bounds.BF, d), nil
+			net := ClassifiedImplicit(name, gen, bounds.BF, d)
+			net.Sched = sched
+			return net, nil
 		}
 		bf := topology.NewButterfly(d, D)
 		net := Classified(name, bf.G, bounds.BF, d)
 		net.Gen = gen
+		net.Sched = sched
 		return net, nil
 	}})
 	Register("wbf", Builder{Params: []string{ParamDegree, ParamDiameter}, Build: func(p Params) (*Network, error) {

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/systolic"
+)
+
+// analyzeHC20 is a generator-eligible implicit instance: a d=20 hypercube
+// (2^20 vertices) is past the materialization threshold, so the registry
+// builds it implicit and the catalog compiles the dimension-order protocol
+// to a generator program.
+var analyzeHC20 = AnalyzeRequest{
+	Kind:     "hypercube",
+	Params:   map[string]int{"dimension": 20},
+	Protocol: "hypercube",
+	Budget:   64,
+}
+
+// TestAnalyzeImplicitGenProgram pins /v1/analyze on an implicit instance:
+// the session executes the generator program (rounds streamed, arcs never
+// materialized), answers a BroadcastReport, and the compile is counted by
+// the implicit-programs metric. A repeat request must come from the result
+// cache without a second compile.
+func TestAnalyzeImplicitGenProgram(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/analyze", analyzeHC20)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("analyze: status %d: %s", resp.StatusCode, body)
+	}
+	env := decodeBody[struct {
+		Cached bool                     `json:"cached"`
+		Report systolic.BroadcastReport `json:"report"`
+	}](t, resp)
+	rep := env.Report
+	if rep.Measured != 20 || rep.Source != 0 {
+		t.Fatalf("implicit analyze: measured %d from %d, want 20 from 0", rep.Measured, rep.Source)
+	}
+	if rep.CBound > rep.Measured {
+		t.Fatalf("certified floor %d exceeds measurement %d", rep.CBound, rep.Measured)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.ImplicitPrograms != 1 {
+		t.Fatalf("implicit programs compiled: %d, want 1", snap.ImplicitPrograms)
+	}
+	resp = postJSON(t, ts.Client(), ts.URL+"/v1/analyze", analyzeHC20)
+	env2 := decodeBody[struct {
+		Cached bool                     `json:"cached"`
+		Report systolic.BroadcastReport `json:"report"`
+	}](t, resp)
+	if !env2.Cached || env2.Report != rep {
+		t.Fatalf("repeat analyze: cached=%v report %+v, want cached copy of %+v", env2.Cached, env2.Report, rep)
+	}
+	snap = s.Metrics().Snapshot()
+	if snap.ImplicitPrograms != 1 || snap.CacheHits != 1 {
+		t.Fatalf("repeat request: implicit_programs=%d cache_hits=%d, want 1/1",
+			snap.ImplicitPrograms, snap.CacheHits)
+	}
+}
+
+// TestCertifyImplicitGenProgram pins /v1/certify on an implicit instance:
+// the broadcast certificate completes with the streamed measurement and no
+// delay-digraph section (the delay lowering needs explicit adjacency and is
+// skipped for broadcast programs).
+func TestCertifyImplicitGenProgram(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/certify", analyzeHC20)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("certify: status %d: %s", resp.StatusCode, body)
+	}
+	cert := decodeBody[struct {
+		Report systolic.Certificate `json:"report"`
+	}](t, resp).Report
+	if !cert.Complete || cert.Measured != 20 {
+		t.Fatalf("implicit certificate: complete=%v measured=%d, want true/20", cert.Complete, cert.Measured)
+	}
+	if cert.Broadcast == nil || !cert.Broadcast.Respected {
+		t.Fatalf("implicit certificate carries no respected broadcast bound: %+v", cert.Broadcast)
+	}
+	if cert.DelayVerts != 0 || cert.DelayArcs != 0 {
+		t.Fatalf("broadcast certificate grew a delay digraph: %d verts, %d arcs", cert.DelayVerts, cert.DelayArcs)
+	}
+}
+
+// TestAnalyzeImplicitIneligibleProtocol pins the error contract over the
+// wire: a data-dependent protocol on an implicit instance is a client
+// error naming the eligible set, not a 500.
+func TestAnalyzeImplicitIneligibleProtocol(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := analyzeHC20
+	req.Protocol = "greedy-half"
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/analyze", req)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ineligible implicit analyze: status %d, want 400: %s", resp.StatusCode, body)
+	}
+}

@@ -35,6 +35,7 @@ type Metrics struct {
 
 	broadcastSources atomic.Int64 // sources measured by broadcast scans
 	implicitScans    atomic.Int64 // broadcast scans streamed on implicit (generator-only) networks
+	implicitPrograms atomic.Int64 // generator programs compiled for implicit instances
 }
 
 func newMetrics() *Metrics {
@@ -74,6 +75,7 @@ type Snapshot struct {
 
 	BroadcastSources int64 `json:"broadcast_sources"`
 	ImplicitScans    int64 `json:"implicit_scans"`
+	ImplicitPrograms int64 `json:"implicit_programs"`
 }
 
 // HitRatio returns cache hits over cache-answerable lookups, 0 when none
@@ -110,6 +112,7 @@ func (m *Metrics) Snapshot() Snapshot {
 
 		BroadcastSources: m.broadcastSources.Load(),
 		ImplicitScans:    m.implicitScans.Load(),
+		ImplicitPrograms: m.implicitPrograms.Load(),
 	}
 	m.mu.Lock()
 	for ep, c := range m.requests {
@@ -154,6 +157,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("gossipd_scenario_trials_truncated_total", "Scenario trials censored at their round budget.", s.ScenarioTruncated)
 	counter("gossipd_broadcast_sources_total", "Sources measured by all-sources/subset broadcast scans.", s.BroadcastSources)
 	counter("gossipd_implicit_scans_total", "Broadcast scans streamed on implicit (generator-only) networks.", s.ImplicitScans)
+	counter("gossipd_implicit_programs_total", "Generator programs compiled for implicit instances.", s.ImplicitPrograms)
 	gauge("gossipd_inflight_sessions", "Computations currently holding a worker.", s.Inflight)
 	gauge("gossipd_queue_depth", "Computations waiting for a worker.", s.Queued)
 	fmt.Fprintf(w, "# HELP gossipd_cache_hit_ratio Cache hits over cache lookups.\n")

@@ -434,6 +434,9 @@ func (s *Server) compiledProgram(n normalized) (*systolic.Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	if pr.GenProgram() != nil {
+		s.metrics.implicitPrograms.Add(1)
+	}
 	s.programs.add(n.progKey, pr)
 	return pr, nil
 }
@@ -453,7 +456,14 @@ func (s *Server) runAnalyzeSession(ctx context.Context, n normalized, jobID stri
 		return nil, err
 	}
 	defer sess.Close()
-	rep, err := sess.Analyze(ctx)
+	var rep any
+	if pr.Broadcast() {
+		// Generator-backed protocols (implicit instances) run broadcast
+		// sessions; their report is the broadcast view of the certificate.
+		rep, err = sess.AnalyzeBroadcast(ctx)
+	} else {
+		rep, err = sess.Analyze(ctx)
+	}
 	if err != nil {
 		if jobID != "" && errors.Is(err, systolic.ErrIncomplete) {
 			if path := s.jobs.checkpointFile(jobID); path != "" {
@@ -532,12 +542,22 @@ func (s *Server) runCertifySession(ctx context.Context, n normalized) (any, erro
 	if err != nil {
 		return nil, err
 	}
+	opts := []systolic.Option{systolic.WithRoundBudget(n.budget), s.roundsObserver()}
+	if pr.Broadcast() {
+		// Broadcast certificates carry no delay-digraph section, so the
+		// delay lowering (which needs explicit adjacency) is skipped.
+		sess, err := systolic.NewEngineFromProgram(pr, opts...)
+		if err != nil {
+			return nil, err
+		}
+		defer sess.Close()
+		return sess.Certify(ctx)
+	}
 	dp, err := s.cachedDelayPlan(n, pr)
 	if err != nil {
 		return nil, err
 	}
-	sess, err := systolic.NewEngineFromProgram(pr,
-		systolic.WithRoundBudget(n.budget), systolic.WithDelayPlan(dp), s.roundsObserver())
+	sess, err := systolic.NewEngineFromProgram(pr, append(opts, systolic.WithDelayPlan(dp))...)
 	if err != nil {
 		return nil, err
 	}
